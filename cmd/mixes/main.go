@@ -1,0 +1,40 @@
+// Command mixes lists the paper's job-mix enumerations: 21 PARSEC mixes
+// of 5 jobs, 10 CloudSuite mixes of 3, 10 ECP mixes of 2, with the
+// configuration-space size each mix induces on the default machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"satori/internal/sim"
+	"satori/internal/workloads"
+)
+
+func main() {
+	suite := flag.String("suite", "", "limit to one suite (parsec|cloudsuite|ecp)")
+	flag.Parse()
+
+	suites := []string{workloads.SuitePARSEC, workloads.SuiteCloudSuite, workloads.SuiteECP}
+	if *suite != "" {
+		suites = []string{*suite}
+	}
+	machine := sim.DefaultMachine()
+	for _, name := range suites {
+		mixes, err := workloads.PaperMixes(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s: %d mixes of %d jobs ==\n", name, len(mixes), len(mixes[0].Profiles))
+		for _, m := range mixes {
+			space, err := machine.Space(len(m.Profiles))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  mix %2d: %-70s %12.0f configs\n",
+				m.Index, strings.Join(m.Names(), "+"), space.Size())
+		}
+	}
+}

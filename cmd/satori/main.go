@@ -1,0 +1,164 @@
+// Command satori runs one co-location session on the simulated testbed:
+// pick workloads, pick a partitioning policy, and watch the throughput
+// and fairness scores evolve at 10 Hz.
+//
+// Usage:
+//
+//	satori -workloads canneal,swaptions,streamcluster -policy satori -seconds 60
+//	satori -suite parsec -mix 0 -policy parties
+//	satori -workloads amg,hypre -policy balanced-oracle -csv run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"satori"
+	"satori/internal/trace"
+)
+
+func policyFactory(name string, seed uint64) (func(satori.Platform) (satori.Policy, error), error) {
+	switch name {
+	case "satori":
+		return satori.NewSatoriPolicy(satori.EngineOptions{Seed: seed}), nil
+	case "satori-static":
+		return satori.NewStaticSatoriPolicy(0.5), nil
+	case "satori-throughput":
+		return satori.NewStaticSatoriPolicy(1), nil
+	case "satori-fairness":
+		return satori.NewStaticSatoriPolicy(0), nil
+	case "random":
+		return satori.NewRandomPolicy(seed), nil
+	case "static":
+		return satori.NewStaticPolicy(), nil
+	case "dcat":
+		return satori.NewDCATPolicy(), nil
+	case "copart":
+		return satori.NewCoPartPolicy(), nil
+	case "parties":
+		return satori.NewPARTIESPolicy(), nil
+	case "balanced-oracle":
+		return satori.NewOraclePolicy(satori.BalancedOracle), nil
+	case "throughput-oracle":
+		return satori.NewOraclePolicy(satori.ThroughputOracle), nil
+	case "fairness-oracle":
+		return satori.NewOraclePolicy(satori.FairnessOracle), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func main() {
+	workloadList := flag.String("workloads", "", "comma-separated benchmark names to co-locate")
+	profilesPath := flag.String("profiles", "", "JSON file of custom workload profiles to co-locate (see satori.SaveWorkloads)")
+	suite := flag.String("suite", "", "pick a paper mix from this suite instead (parsec|cloudsuite|ecp)")
+	mixIdx := flag.Int("mix", 0, "mix index within -suite")
+	policyName := flag.String("policy", "satori", "partitioning policy")
+	seconds := flag.Float64("seconds", 60, "run length in simulated seconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	power := flag.Int("power", 0, "enable power-cap partitioning with this many units")
+	csvPath := flag.String("csv", "", "write the per-tick trace to this CSV file")
+	dumpSuite := flag.String("dump-profiles", "", "write a suite's workload profiles as JSON to stdout and exit (parsec|cloudsuite|ecp)")
+	flag.Parse()
+
+	if *dumpSuite != "" {
+		jobs, err := satori.Suite(*dumpSuite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := satori.SaveWorkloads(os.Stdout, jobs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var jobs []*satori.Workload
+	switch {
+	case *profilesPath != "":
+		f, err := os.Open(*profilesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs, err = satori.LoadWorkloads(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *workloadList != "":
+		for _, name := range strings.Split(*workloadList, ",") {
+			w, err := satori.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			jobs = append(jobs, w)
+		}
+	case *suite != "":
+		mixes, err := satori.PaperMixes(*suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *mixIdx < 0 || *mixIdx >= len(mixes) {
+			log.Fatalf("mix %d out of range (suite has %d)", *mixIdx, len(mixes))
+		}
+		jobs = mixes[*mixIdx].Profiles
+	default:
+		log.Fatal("pass -workloads or -suite (see -h)")
+	}
+
+	factory, err := policyFactory(*policyName, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := satori.DefaultMachine()
+	if *power > 0 {
+		machine.PowerUnits = *power
+	}
+	sess, err := satori.NewSession(satori.SessionConfig{
+		Machine:   &machine,
+		Workloads: jobs,
+		Policy:    factory,
+		Seed:      *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jobs: %v\npolicy: %s\nspace: %.0f configurations\n",
+		sess.JobNames(), *policyName, sess.SpaceInfo().Size())
+
+	series := trace.NewSeries("time", "throughput", "fairness")
+	ticks := int(*seconds / satori.TickSeconds)
+	report := ticks / 10
+	if report < 1 {
+		report = 1
+	}
+	for i := 1; i <= ticks; i++ {
+		st, err := sess.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		series.Add(st.Time, st.Throughput, st.Fairness)
+		if i%report == 0 {
+			fmt.Printf("t=%6.1fs  throughput=%.3f  fairness=%.3f\n", st.Time, st.Throughput, st.Fairness)
+		}
+	}
+	fmt.Println(sess.Summary())
+	if eng, ok := sess.Policy().(*satori.Engine); ok {
+		w := eng.LastWeights()
+		fmt.Printf("weights: W_T=%.2f W_F=%.2f; configurations explored: %d\n", w.T, w.F, eng.Records().Len())
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := series.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("trace written to", *csvPath)
+	}
+}

@@ -1,0 +1,72 @@
+package satori_test
+
+import (
+	"fmt"
+
+	"satori"
+)
+
+// ExampleNewSession shows the minimal SATORI loop: co-locate jobs, step
+// the session at 10 Hz, read the summary.
+func ExampleNewSession() {
+	jobs, _ := satori.Suite(satori.SuitePARSEC)
+	sess, err := satori.NewSession(satori.SessionConfig{
+		Workloads:  jobs[:3],
+		Seed:       1,
+		NoiseSigma: -1, // deterministic output for the example
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := sess.Run(50); err != nil { // 5 simulated seconds
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("jobs:", sess.JobNames())
+	fmt.Println("ticks:", sess.Summary().Ticks)
+	// Output:
+	// jobs: [blackscholes canneal fluidanimate]
+	// ticks: 50
+}
+
+// ExampleSession_ReplaceWorkload demonstrates a workload-mix change
+// (Algorithm 1 line 12): a job departs and a new one arrives; SATORI
+// needs no re-initialization.
+func ExampleSession_ReplaceWorkload() {
+	jobs, _ := satori.Suite(satori.SuiteECP)
+	sess, _ := satori.NewSession(satori.SessionConfig{
+		Workloads: jobs[:2], Seed: 1, NoiseSigma: -1,
+	})
+	sess.Run(20)
+	arrival, _ := satori.WorkloadByName("amg")
+	if err := sess.ReplaceWorkload(1, arrival); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("jobs now:", sess.JobNames())
+	// Output:
+	// jobs now: [minife amg]
+}
+
+// ExamplePaperMixes enumerates the paper's job-mix sets.
+func ExamplePaperMixes() {
+	mixes, _ := satori.PaperMixes(satori.SuitePARSEC)
+	fmt.Println("PARSEC mixes:", len(mixes))
+	fmt.Println("mix 0:", mixes[0].Names())
+	// Output:
+	// PARSEC mixes: 21
+	// mix 0: [blackscholes canneal fluidanimate freqmine streamcluster]
+}
+
+// ExampleRunExperiment reproduces one paper figure programmatically.
+func ExampleRunExperiment() {
+	rep, err := satori.RunExperiment("space", satori.ExperimentOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(rep.ID, "tables:", len(rep.Tables))
+	// Output:
+	// space tables: 1
+}

@@ -1,0 +1,3 @@
+module satori
+
+go 1.22

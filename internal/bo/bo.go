@@ -1,0 +1,278 @@
+// Package bo implements the Bayesian-optimization machinery SATORI uses to
+// navigate the resource-partitioning configuration space (Sec. III-A):
+// acquisition functions over a Gaussian-process posterior and a small
+// generic optimizer loop.
+//
+// The paper's configuration is Expected Improvement over a Matérn 5/2 GP;
+// UCB and Probability of Improvement are included for ablations. Candidate
+// generation over the discrete configuration space is the caller's job
+// (see internal/core), keeping this package purely numerical.
+package bo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"satori/internal/gp"
+	"satori/internal/linalg"
+	"satori/internal/stats"
+)
+
+// Acquisition scores a candidate from its posterior mean/stddev and the
+// incumbent best observation. Maximization convention: higher is better.
+type Acquisition interface {
+	Score(mu, sigma, best float64) float64
+	Name() string
+}
+
+// EI is the Expected Improvement acquisition, SATORI's choice: it balances
+// exploration and exploitation at low evaluation cost.
+type EI struct {
+	// Xi >= 0 is the exploration margin; 0 is the textbook EI.
+	Xi float64
+}
+
+// Score implements Acquisition.
+func (a EI) Score(mu, sigma, best float64) float64 {
+	improve := mu - best - a.Xi
+	if sigma <= 0 {
+		// Deterministic prediction: improvement is certain or impossible.
+		return math.Max(improve, 0)
+	}
+	z := improve / sigma
+	return improve*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+// Name implements Acquisition.
+func (a EI) Name() string { return "ei" }
+
+// UCB is the Upper Confidence Bound acquisition μ + β·σ.
+type UCB struct {
+	// Beta >= 0 weighs the uncertainty bonus; 0 degenerates to pure
+	// exploitation of the posterior mean.
+	Beta float64
+}
+
+// Score implements Acquisition.
+func (a UCB) Score(mu, sigma, _ float64) float64 { return mu + a.Beta*sigma }
+
+// Name implements Acquisition.
+func (a UCB) Name() string { return "ucb" }
+
+// PI is the Probability of Improvement acquisition.
+type PI struct {
+	// Xi >= 0 is the improvement margin.
+	Xi float64
+}
+
+// Score implements Acquisition.
+func (a PI) Score(mu, sigma, best float64) float64 {
+	if sigma <= 0 {
+		if mu > best+a.Xi {
+			return 1
+		}
+		return 0
+	}
+	return stdNormCDF((mu - best - a.Xi) / sigma)
+}
+
+// Name implements Acquisition.
+func (a PI) Name() string { return "pi" }
+
+// stdNormPDF is the standard normal density.
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// stdNormCDF is the standard normal distribution function.
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Suggest returns the index of the candidate maximizing the acquisition
+// under the posterior g, along with the winning score. It returns an error
+// when candidates is empty.
+func Suggest(g *gp.GP, acq Acquisition, best float64, candidates [][]float64) (int, float64, error) {
+	if len(candidates) == 0 {
+		return -1, 0, errors.New("bo: no candidates to score")
+	}
+	bestIdx, bestScore := -1, math.Inf(-1)
+	for i, x := range candidates {
+		mu, sigma := g.Predict(x)
+		if s := acq.Score(mu, sigma, best); s > bestScore {
+			bestIdx, bestScore = i, s
+		}
+	}
+	return bestIdx, bestScore, nil
+}
+
+// ThompsonSuggest implements Thompson sampling over a discrete candidate
+// set: it draws ONE sample from the joint GP posterior at the candidates
+// and returns the index of the sample's maximum. Exploration emerges from
+// the posterior randomness instead of an explicit bonus, which makes it a
+// natural comparison point for the paper's Expected Improvement choice
+// (see the acquisition ablation).
+func ThompsonSuggest(g *gp.GP, rng *stats.RNG, candidates [][]float64) (int, error) {
+	if len(candidates) == 0 {
+		return -1, errors.New("bo: no candidates to score")
+	}
+	mu, cov := g.Posterior(candidates)
+	m := len(candidates)
+	// Jitter-escalated factorization: posterior covariances are
+	// frequently near-singular when candidates cluster.
+	var chol *linalg.Cholesky
+	var err error
+	for jitter := 1e-10; jitter < 1; jitter *= 100 {
+		cj := cov.Clone()
+		for i := 0; i < m; i++ {
+			cj.Set(i, i, cj.At(i, i)+jitter)
+		}
+		chol, err = linalg.NewCholesky(cj)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		// Degenerate posterior: fall back to the mean's argmax.
+		best := 0
+		for i, v := range mu {
+			if v > mu[best] {
+				best = i
+			}
+		}
+		return best, nil
+	}
+	z := make([]float64, m)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	best, bestVal := -1, math.Inf(-1)
+	for i := 0; i < m; i++ {
+		s := mu[i]
+		for k := 0; k <= i; k++ {
+			s += chol.LAt(i, k) * z[k]
+		}
+		if s > bestVal {
+			best, bestVal = i, s
+		}
+	}
+	return best, nil
+}
+
+// Observation is one evaluated point.
+type Observation struct {
+	X []float64
+	Y float64
+}
+
+// Optimizer is a generic maximize-f(x) BO loop over user-supplied
+// candidate sets: observe points, then ask for the next one to evaluate.
+// SATORI's engine (internal/core) embeds the same pieces but reconstructs
+// objectives each tick; Optimizer is the traditional static-objective
+// variant, used directly by examples, ablations, and tests.
+type Optimizer struct {
+	acq    Acquisition
+	noise  float64
+	kernel gp.Kernel // nil means heuristic Matérn 5/2 per refit
+	window int       // 0 means unbounded observation history
+
+	obs []Observation
+}
+
+// OptimizerOptions configures NewOptimizer.
+type OptimizerOptions struct {
+	// Acquisition defaults to EI{}.
+	Acquisition Acquisition
+	// Noise is the GP observation-noise variance (default 1e-4).
+	Noise float64
+	// Kernel overrides the heuristic Matérn 5/2 (optional).
+	Kernel gp.Kernel
+	// Window caps the number of most-recent observations the model is
+	// fitted on; 0 keeps everything.
+	Window int
+}
+
+// NewOptimizer returns an empty optimizer.
+func NewOptimizer(opt OptimizerOptions) *Optimizer {
+	if opt.Acquisition == nil {
+		opt.Acquisition = EI{}
+	}
+	if opt.Noise <= 0 {
+		opt.Noise = 1e-4
+	}
+	if opt.Window < 0 {
+		opt.Window = 0
+	}
+	return &Optimizer{
+		acq:    opt.Acquisition,
+		noise:  opt.Noise,
+		kernel: opt.Kernel,
+		window: opt.Window,
+	}
+}
+
+// Observe records an evaluated point.
+func (o *Optimizer) Observe(x []float64, y float64) {
+	xc := make([]float64, len(x))
+	copy(xc, x)
+	o.obs = append(o.obs, Observation{X: xc, Y: y})
+	if o.window > 0 && len(o.obs) > o.window {
+		o.obs = o.obs[len(o.obs)-o.window:]
+	}
+}
+
+// Observations returns the retained observation history (not a copy; do
+// not mutate).
+func (o *Optimizer) Observations() []Observation { return o.obs }
+
+// Best returns the incumbent observation. ok is false before any Observe.
+func (o *Optimizer) Best() (Observation, bool) {
+	if len(o.obs) == 0 {
+		return Observation{}, false
+	}
+	best := o.obs[0]
+	for _, ob := range o.obs[1:] {
+		if ob.Y > best.Y {
+			best = ob
+		}
+	}
+	return best, true
+}
+
+// Suggest fits the posterior on the retained history and returns the
+// candidate index maximizing the acquisition. With no observations yet it
+// returns 0 (callers seed with an initial design first, per Algorithm 1).
+func (o *Optimizer) Suggest(candidates [][]float64) (int, error) {
+	if len(candidates) == 0 {
+		return -1, errors.New("bo: no candidates to score")
+	}
+	if len(o.obs) == 0 {
+		return 0, nil
+	}
+	model, err := o.Fit()
+	if err != nil {
+		return -1, err
+	}
+	best, _ := o.Best()
+	idx, _, err := Suggest(model, o.acq, best.Y, candidates)
+	return idx, err
+}
+
+// Fit returns the GP posterior over the retained history.
+func (o *Optimizer) Fit() (*gp.GP, error) {
+	if len(o.obs) == 0 {
+		return nil, gp.ErrNoData
+	}
+	xs := make([][]float64, len(o.obs))
+	ys := make([]float64, len(o.obs))
+	for i, ob := range o.obs {
+		xs[i] = ob.X
+		ys[i] = ob.Y
+	}
+	model, err := gp.Fit(xs, ys, gp.Options{Kernel: o.kernel, Noise: o.noise})
+	if err != nil {
+		return nil, fmt.Errorf("bo: refit failed: %w", err)
+	}
+	return model, nil
+}

@@ -1,0 +1,290 @@
+package bo
+
+import (
+	"math"
+	"testing"
+
+	"satori/internal/gp"
+	"satori/internal/stats"
+)
+
+func TestEIKnownValues(t *testing.T) {
+	// With mu = best and sigma = 1, EI = phi(0) = 1/sqrt(2π).
+	got := EI{}.Score(1, 1, 1)
+	want := 1 / math.Sqrt(2*math.Pi)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("EI(mu=best, sigma=1) = %g, want %g", got, want)
+	}
+	// Deterministic prediction below best: no improvement possible.
+	if got := (EI{}).Score(0.5, 0, 1); got != 0 {
+		t.Errorf("EI deterministic below best = %g, want 0", got)
+	}
+	// Deterministic prediction above best: improvement is certain.
+	if got := (EI{}).Score(1.5, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("EI deterministic above best = %g, want 0.5", got)
+	}
+}
+
+func TestEIMonotonicity(t *testing.T) {
+	// EI increases in mu and, when mu <= best, increases in sigma.
+	base := EI{}.Score(0.5, 0.2, 1)
+	if (EI{}).Score(0.7, 0.2, 1) <= base {
+		t.Error("EI not increasing in mu")
+	}
+	if (EI{}).Score(0.5, 0.5, 1) <= base {
+		t.Error("EI not increasing in sigma below incumbent")
+	}
+	// Always non-negative.
+	rng := stats.NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		mu := rng.NormFloat64()
+		sigma := rng.Float64()
+		if v := (EI{}).Score(mu, sigma, 0); v < 0 {
+			t.Fatalf("EI negative: %g at mu=%g sigma=%g", v, mu, sigma)
+		}
+	}
+}
+
+func TestEIXiReducesScore(t *testing.T) {
+	plain := EI{}.Score(1, 0.5, 1)
+	greedy := EI{Xi: 0.2}.Score(1, 0.5, 1)
+	if greedy >= plain {
+		t.Errorf("xi should shrink EI: %g >= %g", greedy, plain)
+	}
+}
+
+func TestUCB(t *testing.T) {
+	if got := (UCB{Beta: 2}).Score(1, 0.5, 0); got != 2 {
+		t.Errorf("UCB = %g, want 2", got)
+	}
+	if got := (UCB{}).Score(1, 0.5, 0); got != 1 {
+		t.Errorf("UCB beta=0 = %g, want mu", got)
+	}
+}
+
+func TestPI(t *testing.T) {
+	// mu = best, sigma > 0: probability exactly 1/2.
+	if got := (PI{}).Score(1, 0.3, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PI at incumbent = %g, want 0.5", got)
+	}
+	if got := (PI{}).Score(2, 0, 1); got != 1 {
+		t.Errorf("PI certain improvement = %g, want 1", got)
+	}
+	if got := (PI{}).Score(0.5, 0, 1); got != 0 {
+		t.Errorf("PI certain non-improvement = %g, want 0", got)
+	}
+	if got := (PI{Xi: 0.6}).Score(1.5, 0, 1); got != 0 {
+		t.Errorf("PI with margin = %g, want 0", got)
+	}
+}
+
+func TestAcquisitionNames(t *testing.T) {
+	if (EI{}).Name() != "ei" || (UCB{}).Name() != "ucb" || (PI{}).Name() != "pi" {
+		t.Error("acquisition names wrong")
+	}
+}
+
+func TestSuggestPrefersUnexploredOverKnownBad(t *testing.T) {
+	// Observations: low values at x=0 and x=1; candidate far away should
+	// win EI over a candidate at a known-bad location.
+	xs := [][]float64{{0}, {0.05}, {1}, {0.95}}
+	ys := []float64{0.1, 0.12, 0.1, 0.11}
+	model, err := gp.Fit(xs, ys, gp.Options{Kernel: gp.Matern52{LengthScale: 0.1, Variance: 1}, Noise: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := [][]float64{{0.01}, {0.5}}
+	idx, score, err := Suggest(model, EI{}, 0.12, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("Suggest picked known-bad region (idx %d, score %g)", idx, score)
+	}
+}
+
+func TestSuggestEmptyCandidates(t *testing.T) {
+	model, err := gp.Fit([][]float64{{0}}, []float64{1}, gp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Suggest(model, EI{}, 1, nil); err == nil {
+		t.Error("empty candidate set accepted")
+	}
+}
+
+func TestOptimizerFindsMaximumOf1DFunction(t *testing.T) {
+	// Maximize f(x) = -(x-0.3)² on [0,1]: optimum at 0.3.
+	f := func(x float64) float64 { return -(x - 0.3) * (x - 0.3) }
+	opt := NewOptimizer(OptimizerOptions{Noise: 1e-6})
+	// Seed with endpoints.
+	opt.Observe([]float64{0}, f(0))
+	opt.Observe([]float64{1}, f(1))
+	var cands [][]float64
+	for i := 0; i <= 50; i++ {
+		cands = append(cands, []float64{float64(i) / 50})
+	}
+	for iter := 0; iter < 15; iter++ {
+		idx, err := opt.Suggest(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := cands[idx][0]
+		opt.Observe([]float64{x}, f(x))
+	}
+	best, ok := opt.Best()
+	if !ok {
+		t.Fatal("no best observation")
+	}
+	if math.Abs(best.X[0]-0.3) > 0.06 {
+		t.Errorf("BO converged to %g, want ~0.3 (best y = %g)", best.X[0], best.Y)
+	}
+}
+
+func TestOptimizerBeatsCoarseRandomSearchOn2D(t *testing.T) {
+	// 2D multimodal-ish surface; BO with 20 evaluations should beat the
+	// mean of random search with the same budget.
+	f := func(x, y float64) float64 {
+		return math.Sin(3*x)*math.Cos(2*y) + 0.5*x - 0.3*(x*x+y*y)
+	}
+	var cands [][]float64
+	for i := 0; i <= 15; i++ {
+		for j := 0; j <= 15; j++ {
+			cands = append(cands, []float64{float64(i) / 15, float64(j) / 15})
+		}
+	}
+	runBO := func(seed uint64) float64 {
+		rng := stats.NewRNG(seed)
+		opt := NewOptimizer(OptimizerOptions{Noise: 1e-6})
+		for i := 0; i < 3; i++ {
+			c := cands[rng.Intn(len(cands))]
+			opt.Observe(c, f(c[0], c[1]))
+		}
+		for iter := 0; iter < 17; iter++ {
+			idx, err := opt.Suggest(cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cands[idx]
+			opt.Observe(c, f(c[0], c[1]))
+		}
+		best, _ := opt.Best()
+		return best.Y
+	}
+	runRandom := func(seed uint64) float64 {
+		rng := stats.NewRNG(seed)
+		best := math.Inf(-1)
+		for i := 0; i < 20; i++ {
+			c := cands[rng.Intn(len(cands))]
+			if v := f(c[0], c[1]); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	boSum, rndSum := 0.0, 0.0
+	const trials = 5
+	for s := uint64(0); s < trials; s++ {
+		boSum += runBO(s)
+		rndSum += runRandom(s)
+	}
+	if boSum/trials < rndSum/trials {
+		t.Errorf("BO mean %g worse than random search mean %g", boSum/trials, rndSum/trials)
+	}
+}
+
+func TestOptimizerWindow(t *testing.T) {
+	opt := NewOptimizer(OptimizerOptions{Window: 3})
+	for i := 0; i < 10; i++ {
+		opt.Observe([]float64{float64(i)}, float64(i))
+	}
+	if n := len(opt.Observations()); n != 3 {
+		t.Errorf("window retained %d observations, want 3", n)
+	}
+	if opt.Observations()[0].X[0] != 7 {
+		t.Errorf("window kept wrong observations: %v", opt.Observations())
+	}
+}
+
+func TestOptimizerSuggestBeforeObserve(t *testing.T) {
+	opt := NewOptimizer(OptimizerOptions{})
+	idx, err := opt.Suggest([][]float64{{0}, {1}})
+	if err != nil || idx != 0 {
+		t.Errorf("pre-observation Suggest = (%d, %v), want (0, nil)", idx, err)
+	}
+	if _, err := opt.Suggest(nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, ok := opt.Best(); ok {
+		t.Error("Best reported before any observation")
+	}
+	if _, err := opt.Fit(); err == nil {
+		t.Error("Fit with no data should error")
+	}
+}
+
+func TestOptimizerObserveCopiesInput(t *testing.T) {
+	opt := NewOptimizer(OptimizerOptions{})
+	x := []float64{0.5}
+	opt.Observe(x, 1)
+	x[0] = 99
+	if opt.Observations()[0].X[0] != 0.5 {
+		t.Error("Observe aliased the caller's slice")
+	}
+}
+
+func TestStdNormHelpers(t *testing.T) {
+	if math.Abs(stdNormCDF(0)-0.5) > 1e-12 {
+		t.Error("CDF(0) != 0.5")
+	}
+	if math.Abs(stdNormPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Error("PDF(0) wrong")
+	}
+	if stdNormCDF(8) < 0.999999 || stdNormCDF(-8) > 1e-6 {
+		t.Error("CDF tails wrong")
+	}
+}
+
+func TestThompsonSuggestPrefersGoodRegions(t *testing.T) {
+	// Observations make x=0.3 clearly best; Thompson samples should pick
+	// candidates near it far more often than the known-bad corner.
+	xs := [][]float64{{0}, {0.15}, {0.3}, {0.45}, {0.9}}
+	ys := []float64{0.2, 0.6, 1.0, 0.6, 0.1}
+	model, err := gp.Fit(xs, ys, gp.Options{Kernel: gp.Matern52{LengthScale: 0.2, Variance: 0.2}, Noise: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := [][]float64{{0.28}, {0.32}, {0.88}, {0.92}}
+	rng := stats.NewRNG(6)
+	nearBest := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		idx, err := ThompsonSuggest(model, rng, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 0 || idx == 1 {
+			nearBest++
+		}
+	}
+	if nearBest < trials*3/4 {
+		t.Errorf("Thompson picked near-optimum only %d/%d times", nearBest, trials)
+	}
+}
+
+func TestThompsonSuggestErrors(t *testing.T) {
+	model, err := gp.Fit([][]float64{{0}}, []float64{1}, gp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ThompsonSuggest(model, stats.NewRNG(1), nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	// Duplicate candidates make the posterior singular; the jitter
+	// escalation (or mean fallback) must still return a valid index.
+	dup := [][]float64{{0.5}, {0.5}, {0.5}}
+	idx, err := ThompsonSuggest(model, stats.NewRNG(1), dup)
+	if err != nil || idx < 0 || idx >= 3 {
+		t.Errorf("duplicate candidates: idx=%d err=%v", idx, err)
+	}
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"satori/internal/bo"
+	"satori/internal/gp"
+	"satori/internal/policy"
+	"satori/internal/resource"
+	"satori/internal/stats"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Seed drives candidate sampling; equal seeds replay identically.
+	Seed uint64
+	// Scheduler configures the goal-weight dynamics (Sec. III-C).
+	Scheduler SchedulerOptions
+	// StaticWT, when StaticWTSet is true, pins static weights at an
+	// explicit throughput weight (honoring 0 for Fairness SATORI).
+	StaticWT    float64
+	StaticWTSet bool
+	// Window caps how many most-recent distinct configurations the
+	// proxy model is fitted on (default 64). A bounded window keeps
+	// the 100 ms iteration cheap and lets the model track phase
+	// changes.
+	Window int
+	// Candidates is the number of random configurations scored by the
+	// acquisition function each tick (default 32), in addition to the
+	// incumbent's one-unit neighborhood.
+	Candidates int
+	// InitialSamples is the size of the S_init seeding set: the equal
+	// split plus low-imbalance perturbations (default 8, Sec. V notes
+	// seeding with "good" configurations instead of random ones).
+	InitialSamples int
+	// Noise is the GP observation-noise variance on the [0,1]-scaled
+	// objective (default 1e-3, absorbing ~2-3% IPS counter noise).
+	Noise float64
+	// Xi is the Expected Improvement exploration margin (default 0).
+	Xi float64
+	// Acquisition selects the acquisition function: "ei" (default, the
+	// paper's choice), "ucb", "pi", or "ts" (Thompson sampling). The
+	// ExploitThreshold optimization only applies to "ei", whose score
+	// is an expected improvement; the alternatives probe every tick —
+	// the acquisition ablation quantifies what that costs.
+	Acquisition string
+	// ExploitThreshold stops exploration when the best candidate's
+	// Expected Improvement falls below it: the engine then re-installs
+	// the incumbent best configuration instead of probing further —
+	// the paper's "avoid frequent updates after the optimal
+	// configuration detection" optimization (Sec. V overhead
+	// discussion). Default 0.012 on the [0,1] objective scale.
+	ExploitThreshold float64
+	// RandomInit seeds the engine with uniformly random configurations
+	// instead of the low-imbalance S_init — the initial-design
+	// sensitivity ablation of Sec. V (the paper reports 1-3% final
+	// quality variation from bad starts).
+	RandomInit bool
+	// Managed restricts which resource kinds SATORI actually
+	// partitions; unmanaged resources stay at the equal split. nil
+	// manages everything. Used for the Sec. V source-of-benefit
+	// ablation (SATORI on LLC only vs dCAT; LLC+MBW vs CoPart).
+	Managed []resource.Kind
+	// Name overrides the policy name in reports.
+	Name string
+}
+
+func (o *Options) fill() {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 32
+	}
+	if o.InitialSamples <= 0 {
+		o.InitialSamples = 8
+	}
+	if o.Noise <= 0 {
+		o.Noise = 1e-3
+	}
+	if o.ExploitThreshold == 0 {
+		o.ExploitThreshold = 0.012
+	}
+	if o.ExploitThreshold < 0 {
+		o.ExploitThreshold = 0 // explicit "never exploit" request
+	}
+}
+
+// Engine is the SATORI BO engine of Algorithm 1, usable as a
+// policy.Policy.
+type Engine struct {
+	space *resource.Space
+	opt   Options
+	rng   *stats.RNG
+	sched *Scheduler
+	recs  *Records
+
+	initQueue  []resource.Config
+	managedRow []bool
+	equalSplit resource.Config
+
+	prevPreds    map[string]float64
+	proxyChange  float64
+	lastObj      float64
+	lastWeights  Weights
+	fitFailures  int
+	decideTicks  int
+	exploits     int
+	candidateBuf [][]float64
+	candidateCfg []resource.Config
+}
+
+// New builds a SATORI engine over space.
+func New(space *resource.Space, opt Options) (*Engine, error) {
+	opt.fill()
+	var sched *Scheduler
+	if opt.Scheduler.Mode == WeightsStatic && opt.StaticWTSet {
+		sched = NewStaticScheduler(opt.StaticWT)
+		sched.tpTicks = orDefault(opt.Scheduler.PrioritizationTicks, 10)
+		sched.teTicks = orDefault(opt.Scheduler.EqualizationTicks, 100)
+	} else {
+		sched = NewScheduler(opt.Scheduler)
+	}
+	e := &Engine{
+		space:      space,
+		opt:        opt,
+		rng:        stats.NewRNG(opt.Seed ^ 0x5A7031),
+		sched:      sched,
+		recs:       NewRecords(),
+		equalSplit: space.EqualSplit(),
+		prevPreds:  make(map[string]float64),
+	}
+	switch opt.Acquisition {
+	case "", "ei", "ucb", "pi", "ts":
+	default:
+		return nil, fmt.Errorf("core: unknown acquisition %q (want ei, ucb, pi, or ts)", opt.Acquisition)
+	}
+	e.managedRow = make([]bool, len(space.Resources))
+	if len(opt.Managed) == 0 {
+		for i := range e.managedRow {
+			e.managedRow[i] = true
+		}
+	} else {
+		for i, r := range space.Resources {
+			for _, k := range opt.Managed {
+				if r.Kind == k {
+					e.managedRow[i] = true
+				}
+			}
+		}
+		any := false
+		for _, m := range e.managedRow {
+			any = any || m
+		}
+		if !any {
+			return nil, fmt.Errorf("core: none of the managed kinds %v exist in the space", opt.Managed)
+		}
+	}
+	if opt.RandomInit {
+		// Ablation mode: random initial design.
+		for i := 0; i < opt.InitialSamples; i++ {
+			e.initQueue = append(e.initQueue, e.restrictToManaged(space.Random(e.rng)))
+		}
+		return e, nil
+	}
+	// S_init: equal split + low-imbalance perturbations, restricted to
+	// managed rows.
+	for _, c := range space.InitialSet(opt.InitialSamples * 3) {
+		if len(e.initQueue) >= opt.InitialSamples {
+			break
+		}
+		mc := e.restrictToManaged(c)
+		if len(e.initQueue) == 0 || !containsConfig(e.initQueue, mc) {
+			e.initQueue = append(e.initQueue, mc)
+		}
+	}
+	return e, nil
+}
+
+func orDefault(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+func containsConfig(cs []resource.Config, c resource.Config) bool {
+	for _, x := range cs {
+		if x.Equal(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements policy.Policy.
+func (e *Engine) Name() string {
+	if e.opt.Name != "" {
+		return e.opt.Name
+	}
+	switch e.sched.Mode() {
+	case WeightsStatic:
+		switch e.sched.staticT {
+		case 1:
+			return "satori-throughput"
+		case 0:
+			return "satori-fairness"
+		default:
+			return "satori-static"
+		}
+	case WeightsFavorStronger:
+		return "satori-favor-stronger"
+	default:
+		return "satori"
+	}
+}
+
+// restrictToManaged pins unmanaged resource rows to the equal split.
+func (e *Engine) restrictToManaged(c resource.Config) resource.Config {
+	out := c.Clone()
+	for r, managed := range e.managedRow {
+		if !managed {
+			copy(out.Alloc[r], e.equalSplit.Alloc[r])
+		}
+	}
+	return out
+}
+
+// randomWalk applies up to steps random one-unit moves in managed rows.
+func (e *Engine) randomWalk(c resource.Config, steps int) resource.Config {
+	cur := c
+	for s := 0; s < steps; s++ {
+		r := e.rng.Intn(len(e.space.Resources))
+		if !e.managedRow[r] {
+			continue
+		}
+		from := e.rng.Intn(e.space.Jobs)
+		to := e.rng.Intn(e.space.Jobs)
+		if next, ok := e.space.Move(cur, r, from, to); ok {
+			cur = next
+		}
+	}
+	return cur
+}
+
+// managedNeighbors enumerates one-unit moves within managed rows only.
+func (e *Engine) managedNeighbors(c resource.Config) []resource.Config {
+	var out []resource.Config
+	for r, managed := range e.managedRow {
+		if !managed {
+			continue
+		}
+		for from := 0; from < e.space.Jobs; from++ {
+			if c.Alloc[r][from] <= 1 {
+				continue
+			}
+			for to := 0; to < e.space.Jobs; to++ {
+				if to == from {
+					continue
+				}
+				n, ok := e.space.Move(c, r, from, to)
+				if ok {
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Decide implements policy.Policy — one iteration of Algorithm 1.
+func (e *Engine) Decide(obs policy.Observation, current resource.Config) resource.Config {
+	e.decideTicks++
+	// (1) Weights for this tick's objective function (Sec. III-C).
+	w := e.sched.Step(obs.Throughput, obs.Fairness)
+	e.lastWeights = w
+	e.lastObj = w.T*obs.Throughput + w.F*obs.Fairness
+
+	// (2) Fold the observation into the per-goal records (Sec. III-B).
+	e.recs.Update(e.space, current, obs.Throughput, obs.Fairness, obs.Tick)
+
+	// (3) Seeding phase: walk the initial design first.
+	if len(e.initQueue) > 0 {
+		next := e.initQueue[0]
+		e.initQueue = e.initQueue[1:]
+		return next
+	}
+
+	// (4) Software reconstruction of the objective for every recorded
+	// configuration under the fresh weights, then proxy-model refit.
+	window := e.recs.Window(e.opt.Window)
+	xs := make([][]float64, len(window))
+	ys := make([]float64, len(window))
+	best := math.Inf(-1)
+	var bestCfg resource.Config
+	type scored struct {
+		y   float64
+		cfg resource.Config
+	}
+	top := make([]scored, 0, 3)
+	for i, rec := range window {
+		xs[i] = rec.Vector
+		ys[i] = rec.Objective(w)
+		if ys[i] > best {
+			best = ys[i]
+			bestCfg = rec.Config
+		}
+		// Track the top few configurations for neighborhood seeding.
+		inserted := false
+		for k := range top {
+			if ys[i] > top[k].y {
+				top = append(top[:k], append([]scored{{ys[i], rec.Config}}, top[k:]...)...)
+				inserted = true
+				break
+			}
+		}
+		if !inserted && len(top) < 3 {
+			top = append(top, scored{ys[i], rec.Config})
+		}
+		if len(top) > 3 {
+			top = top[:3]
+		}
+	}
+	model, err := gp.Fit(xs, ys, gp.Options{Noise: e.opt.Noise})
+	if err != nil {
+		// Degenerate window (should not happen after seeding): fall
+		// back to exploration.
+		e.fitFailures++
+		return e.restrictToManaged(e.space.Random(e.rng))
+	}
+	e.trackProxyChange(model, window)
+
+	// (5) Candidate pool: uniform random managed configurations for
+	// global coverage, short random walks from the incumbent for local
+	// refinement (uniform compositions are often pathologically
+	// imbalanced, and probing them in a live system punishes the
+	// starved jobs — cf. the worst-job metric of Fig. 9), plus the
+	// exact neighborhoods of the best few recorded configurations.
+	e.candidateCfg = e.candidateCfg[:0]
+	for i := 0; i < e.opt.Candidates/2; i++ {
+		e.candidateCfg = append(e.candidateCfg, e.restrictToManaged(e.space.Random(e.rng)))
+	}
+	for i := e.opt.Candidates / 2; i < e.opt.Candidates; i++ {
+		e.candidateCfg = append(e.candidateCfg, e.randomWalk(bestCfg, 3))
+	}
+	for _, t := range top {
+		e.candidateCfg = append(e.candidateCfg, e.managedNeighbors(t.cfg)...)
+	}
+	e.candidateBuf = e.candidateBuf[:0]
+	for _, c := range e.candidateCfg {
+		e.candidateBuf = append(e.candidateBuf, e.space.Vector(c))
+	}
+
+	// (6) Acquisition maximization (Expected Improvement by default,
+	// Sec. III-A; UCB/PI/Thompson for the acquisition ablation).
+	var idx int
+	var score float64
+	switch e.opt.Acquisition {
+	case "", "ei":
+		idx, score, err = bo.Suggest(model, bo.EI{Xi: e.opt.Xi}, best, e.candidateBuf)
+		if err != nil || idx < 0 {
+			return current
+		}
+		// (7) Exploit when no candidate promises a meaningful
+		// improvement: hold (or return to) the incumbent best
+		// configuration instead of paying for another probe in the
+		// running system.
+		if score < e.opt.ExploitThreshold {
+			e.exploits++
+			return bestCfg
+		}
+	case "ucb":
+		idx, _, err = bo.Suggest(model, bo.UCB{Beta: 2}, best, e.candidateBuf)
+		if err != nil || idx < 0 {
+			return current
+		}
+	case "pi":
+		idx, _, err = bo.Suggest(model, bo.PI{Xi: e.opt.Xi}, best, e.candidateBuf)
+		if err != nil || idx < 0 {
+			return current
+		}
+	case "ts":
+		idx, err = bo.ThompsonSuggest(model, e.rng, e.candidateBuf)
+		if err != nil || idx < 0 {
+			return current
+		}
+	}
+	return e.candidateCfg[idx]
+}
+
+// trackProxyChange records the mean absolute relative change of the proxy
+// model's predictions across consecutive iterations over the recorded
+// configurations — the quantity of Fig. 17(b).
+func (e *Engine) trackProxyChange(model *gp.GP, window []*Record) {
+	preds := make(map[string]float64, len(window))
+	sum, n := 0.0, 0
+	for _, rec := range window {
+		key := rec.Config.Key()
+		p := model.PredictMean(rec.Vector)
+		preds[key] = p
+		if prev, ok := e.prevPreds[key]; ok {
+			denom := math.Abs(prev)
+			if denom < 1e-9 {
+				denom = 1e-9
+			}
+			sum += math.Abs(p-prev) / denom * 100
+			n++
+		}
+	}
+	if n > 0 {
+		e.proxyChange = sum / float64(n)
+	}
+	e.prevPreds = preds
+}
+
+// LastWeights returns the weight decomposition of the last Decide call
+// (Fig. 14(a)).
+func (e *Engine) LastWeights() Weights { return e.lastWeights }
+
+// LastObjective returns the objective value W_T·T + W_F·F observed at the
+// last Decide call (Fig. 17(a)).
+func (e *Engine) LastObjective() float64 { return e.lastObj }
+
+// ProxyChange returns the latest mean % change of the proxy model's
+// predictions between consecutive iterations (Fig. 17(b)).
+func (e *Engine) ProxyChange() float64 { return e.proxyChange }
+
+// Scheduler exposes the weight scheduler (the harness uses its
+// equalization boundary to re-record baselines, Algorithm 1 line 12).
+func (e *Engine) Scheduler() *Scheduler { return e.sched }
+
+// Records returns the per-goal configuration records.
+func (e *Engine) Records() *Records { return e.recs }
+
+// FitFailures counts degenerate proxy refits (diagnostics).
+func (e *Engine) FitFailures() int { return e.fitFailures }
+
+// Exploits counts ticks on which the engine held the incumbent best
+// configuration instead of probing (diagnostics; also the trigger for the
+// paper's skip-GP-update overhead optimization).
+func (e *Engine) Exploits() int { return e.exploits }

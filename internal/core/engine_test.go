@@ -1,0 +1,358 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"satori/internal/policy"
+	"satori/internal/resource"
+	"satori/internal/stats"
+)
+
+// syntheticEnv provides a deterministic (throughput, fairness) landscape
+// over a small space so engine behavior can be tested without the full
+// simulator.
+type syntheticEnv struct {
+	space *resource.Space
+	rng   *stats.RNG
+	noise float64
+}
+
+func newSyntheticEnv(noise float64) *syntheticEnv {
+	return &syntheticEnv{
+		space: resource.MustNewSpace(2,
+			resource.Resource{Kind: resource.Cores, Units: 8},
+			resource.Resource{Kind: resource.LLCWays, Units: 6},
+		),
+		rng:   stats.NewRNG(21),
+		noise: noise,
+	}
+}
+
+// eval returns (throughput, fairness): throughput peaks when job 0 is
+// favored on cores and job 1 on ways; fairness peaks at the equal split.
+func (e *syntheticEnv) eval(c resource.Config) (float64, float64) {
+	c0 := float64(c.Alloc[0][0]) / 8
+	w1 := float64(c.Alloc[1][1]) / 6
+	tp := 0.4 + 0.3*math.Exp(-8*(c0-0.75)*(c0-0.75)) + 0.3*math.Exp(-8*(w1-0.67)*(w1-0.67))
+	imb := e.space.Imbalance(c)
+	fair := 1 / (1 + imb)
+	if e.noise > 0 {
+		tp *= 1 + e.noise*e.rng.NormFloat64()
+		fair *= 1 + e.noise*e.rng.NormFloat64()
+	}
+	return clamp01(tp), clamp01(fair)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// drive runs the engine on the synthetic environment for n ticks and
+// returns the mean balanced objective over the second half of the run.
+func drive(t *testing.T, eng *Engine, env *syntheticEnv, n int) float64 {
+	t.Helper()
+	current := env.space.EqualSplit()
+	var acc stats.Welford
+	for tick := 1; tick <= n; tick++ {
+		tp, fair := env.eval(current)
+		if tick > n/2 {
+			acc.Add(0.5*tp + 0.5*fair)
+		}
+		obs := policy.Observation{
+			Tick: tick, Time: float64(tick) * 0.1,
+			Throughput: tp, Fairness: fair,
+		}
+		next := eng.Decide(obs, current)
+		if err := env.space.Validate(next); err != nil {
+			t.Fatalf("engine produced invalid config at tick %d: %v", tick, err)
+		}
+		current = next
+	}
+	return acc.Mean()
+}
+
+func TestEngineProducesValidConfigs(t *testing.T) {
+	env := newSyntheticEnv(0.01)
+	eng, err := New(env.space, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, eng, env, 120)
+	if eng.FitFailures() != 0 {
+		t.Errorf("%d proxy fit failures", eng.FitFailures())
+	}
+}
+
+func TestEngineBeatsRandomSearch(t *testing.T) {
+	env := newSyntheticEnv(0.01)
+	eng, err := New(env.space, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engScore := drive(t, eng, env, 200)
+
+	// Random baseline on an identical fresh environment.
+	env2 := newSyntheticEnv(0.01)
+	rng := stats.NewRNG(3)
+	current := env2.space.EqualSplit()
+	var acc stats.Welford
+	for tick := 1; tick <= 200; tick++ {
+		tp, fair := env2.eval(current)
+		if tick > 100 {
+			acc.Add(0.5*tp + 0.5*fair)
+		}
+		current = env2.space.Random(rng)
+	}
+	if engScore <= acc.Mean() {
+		t.Errorf("engine %.4f did not beat random search %.4f", engScore, acc.Mean())
+	}
+}
+
+func TestEngineSeedsWithInitialSet(t *testing.T) {
+	env := newSyntheticEnv(0)
+	eng, err := New(env.space, Options{Seed: 4, InitialSamples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := env.space.EqualSplit()
+	// The first decisions must walk the low-imbalance initial set; the
+	// very first returned config is the equal split itself (head of
+	// S_init).
+	obs := policy.Observation{Tick: 1, Throughput: 0.5, Fairness: 0.5}
+	first := eng.Decide(obs, current)
+	if !first.Equal(env.space.EqualSplit()) {
+		t.Errorf("first decision is not the equal split: %s", first.Key())
+	}
+	for tick := 2; tick <= 5; tick++ {
+		obs.Tick = tick
+		next := eng.Decide(obs, current)
+		if env.space.Imbalance(next) > 0.6 {
+			t.Errorf("initial sample %d too imbalanced: %s", tick, next.Key())
+		}
+		current = next
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	space := newSyntheticEnv(0).space
+	cases := []struct {
+		opt  Options
+		want string
+	}{
+		{Options{}, "satori"},
+		{Options{Scheduler: SchedulerOptions{Mode: WeightsStatic}, StaticWT: 0.5, StaticWTSet: true}, "satori-static"},
+		{Options{Scheduler: SchedulerOptions{Mode: WeightsStatic}, StaticWT: 1, StaticWTSet: true}, "satori-throughput"},
+		{Options{Scheduler: SchedulerOptions{Mode: WeightsStatic}, StaticWT: 0, StaticWTSet: true}, "satori-fairness"},
+		{Options{Scheduler: SchedulerOptions{Mode: WeightsFavorStronger}}, "satori-favor-stronger"},
+		{Options{Name: "custom"}, "custom"},
+	}
+	for _, c := range cases {
+		eng, err := New(space, c.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEngineManagedMask(t *testing.T) {
+	env := newSyntheticEnv(0.01)
+	eng, err := New(env.space, Options{Seed: 5, Managed: []resource.Kind{resource.LLCWays}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal := env.space.EqualSplit()
+	current := equal
+	for tick := 1; tick <= 80; tick++ {
+		tp, fair := env.eval(current)
+		next := eng.Decide(policy.Observation{Tick: tick, Throughput: tp, Fairness: fair}, current)
+		// Cores (row 0) must stay pinned at the equal split.
+		for j := range next.Alloc[0] {
+			if next.Alloc[0][j] != equal.Alloc[0][j] {
+				t.Fatalf("tick %d: unmanaged cores row changed: %v", tick, next.Alloc[0])
+			}
+		}
+		current = next
+	}
+}
+
+func TestEngineRejectsEmptyManagedMask(t *testing.T) {
+	space := newSyntheticEnv(0).space
+	if _, err := New(space, Options{Managed: []resource.Kind{resource.Power}}); err == nil {
+		t.Error("mask matching no resources accepted")
+	}
+}
+
+func TestEngineInstrumentation(t *testing.T) {
+	env := newSyntheticEnv(0.01)
+	eng, err := New(env.space, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, eng, env, 60)
+	w := eng.LastWeights()
+	if w.T+w.F == 0 {
+		t.Error("LastWeights empty after run")
+	}
+	if eng.LastObjective() <= 0 {
+		t.Error("LastObjective not recorded")
+	}
+	if eng.Records().Len() == 0 {
+		t.Error("no records accumulated")
+	}
+	if eng.Scheduler() == nil {
+		t.Error("Scheduler accessor nil")
+	}
+	// Proxy change becomes available once at least two refits happened
+	// on overlapping windows.
+	if eng.ProxyChange() < 0 {
+		t.Error("negative proxy change")
+	}
+}
+
+func TestEngineReexploresAfterLandscapeShift(t *testing.T) {
+	// Phase-change behavior: after the landscape moves, the engine must
+	// track the new optimum (sliding window + re-evaluation).
+	env := newSyntheticEnv(0.005)
+	eng, err := New(env.space, Options{Seed: 7, Window: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := env.space.EqualSplit()
+	evalShifted := func(c resource.Config) (float64, float64) {
+		// Shifted landscape: throughput now peaks when job 1 gets
+		// the cores.
+		c1 := float64(c.Alloc[0][1]) / 8
+		tp := 0.4 + 0.6*math.Exp(-8*(c1-0.75)*(c1-0.75))
+		imb := env.space.Imbalance(c)
+		return clamp01(tp), 1 / (1 + imb)
+	}
+	var before, after stats.Welford
+	for tick := 1; tick <= 400; tick++ {
+		var tp, fair float64
+		if tick <= 200 {
+			tp, fair = env.eval(current)
+		} else {
+			tp, fair = evalShifted(current)
+		}
+		if tick > 120 && tick <= 200 {
+			before.Add(0.5*tp + 0.5*fair)
+		}
+		if tick > 320 {
+			after.Add(0.5*tp + 0.5*fair)
+		}
+		current = eng.Decide(policy.Observation{Tick: tick, Throughput: tp, Fairness: fair}, current)
+	}
+	// After the shift the engine should recover to a comparable
+	// objective level (within 15% of its pre-shift performance).
+	if after.Mean() < 0.85*before.Mean() {
+		t.Errorf("engine failed to re-adapt: before %.4f, after %.4f", before.Mean(), after.Mean())
+	}
+}
+
+func TestRecords(t *testing.T) {
+	space := newSyntheticEnv(0).space
+	recs := NewRecords()
+	eq := space.EqualSplit()
+	recs.Update(space, eq, 0.5, 0.6, 1)
+	if recs.Len() != 1 || !recs.Has(eq) {
+		t.Fatal("record not stored")
+	}
+	// Update overwrites with the latest observation.
+	recs.Update(space, eq, 0.7, 0.8, 2)
+	if recs.Len() != 1 {
+		t.Fatal("duplicate record created")
+	}
+	w := recs.Window(10)
+	if len(w) != 1 || w[0].Throughput != 0.7 || w[0].Visits != 2 {
+		t.Fatalf("window = %+v", w[0])
+	}
+	// Objective reconstruction under fresh weights — the Sec. III-B
+	// software reconstruction.
+	if got := w[0].Objective(Weights{T: 0.75, F: 0.25}); math.Abs(got-(0.75*0.7+0.25*0.8)) > 1e-12 {
+		t.Errorf("Objective = %g", got)
+	}
+	// Window ordering: most recent first, capped at n.
+	other, _ := space.Move(eq, 0, 0, 1)
+	recs.Update(space, other, 0.1, 0.1, 5)
+	w = recs.Window(1)
+	if len(w) != 1 || !w[0].Config.Equal(other) {
+		t.Error("window not ordered by recency")
+	}
+	if got := recs.Window(0); len(got) != 2 {
+		t.Errorf("Window(0) should return all records, got %d", len(got))
+	}
+}
+
+func TestRecordsDoNotAliasConfig(t *testing.T) {
+	space := newSyntheticEnv(0).space
+	recs := NewRecords()
+	c := space.EqualSplit()
+	recs.Update(space, c, 0.5, 0.5, 1)
+	c.Alloc[0][0] = 99
+	if recs.Window(1)[0].Config.Alloc[0][0] == 99 {
+		t.Error("record aliases caller's config")
+	}
+}
+
+func TestEngineAcquisitionVariants(t *testing.T) {
+	env := newSyntheticEnv(0.01)
+	for _, acq := range []string{"ei", "ucb", "pi", "ts"} {
+		eng, err := New(env.space, Options{Seed: 11, Acquisition: acq})
+		if err != nil {
+			t.Fatalf("%s: %v", acq, err)
+		}
+		score := drive(t, eng, env, 120)
+		if score <= 0 {
+			t.Errorf("%s produced degenerate score %g", acq, score)
+		}
+	}
+	if _, err := New(env.space, Options{Acquisition: "bogus"}); err == nil {
+		t.Error("unknown acquisition accepted")
+	}
+}
+
+func TestRecordsEviction(t *testing.T) {
+	space := newSyntheticEnv(0).space
+	recs := NewRecords()
+	recs.SetCap(5)
+	rng := stats.NewRNG(40)
+	// Insert many distinct configurations; the store must stay bounded
+	// and keep the most recent ones.
+	var last resource.Config
+	for tick := 1; tick <= 200; tick++ {
+		c := space.Random(rng)
+		recs.Update(space, c, 0.5, 0.5, tick)
+		last = c
+	}
+	if recs.Len() > 6 {
+		t.Errorf("records grew to %d with cap 5", recs.Len())
+	}
+	if !recs.Has(last) {
+		t.Error("most recent record was evicted")
+	}
+	// The window still returns newest-first.
+	w := recs.Window(3)
+	for i := 1; i < len(w); i++ {
+		if w[i].LastTick > w[i-1].LastTick {
+			t.Error("window ordering broken after eviction")
+		}
+	}
+	if (&Records{bySig: map[string]*Record{}, cap: 1}).Len() != 0 {
+		t.Error("empty store wrong")
+	}
+	recs.SetCap(0) // clamps to 1
+	recs.Update(space, space.EqualSplit(), 0.5, 0.5, 999)
+	if recs.Len() > 2 {
+		t.Errorf("cap clamp failed: %d", recs.Len())
+	}
+}

@@ -1,0 +1,335 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"satori/internal/stats"
+)
+
+func TestKernelBasicProperties(t *testing.T) {
+	kernels := []Kernel{
+		Matern52{LengthScale: 0.5, Variance: 2},
+		Matern32{LengthScale: 0.5, Variance: 2},
+		RBF{LengthScale: 0.5, Variance: 2},
+	}
+	a := []float64{0.1, 0.2}
+	b := []float64{0.7, 0.9}
+	for _, k := range kernels {
+		// k(x, x) = variance.
+		if got := k.Eval(a, a); math.Abs(got-2) > 1e-12 {
+			t.Errorf("%s: k(x,x) = %g, want 2", k.Name(), got)
+		}
+		// Symmetry.
+		if k.Eval(a, b) != k.Eval(b, a) {
+			t.Errorf("%s: kernel not symmetric", k.Name())
+		}
+		// Positivity and decay.
+		v := k.Eval(a, b)
+		if v <= 0 || v >= 2 {
+			t.Errorf("%s: k(a,b) = %g, want in (0, 2)", k.Name(), v)
+		}
+		// Monotone decay with distance.
+		far := []float64{5, 5}
+		if k.Eval(a, far) >= v {
+			t.Errorf("%s: kernel does not decay with distance", k.Name())
+		}
+	}
+}
+
+func TestKernelSmoothnessOrdering(t *testing.T) {
+	// At moderate distance, RBF decays fastest at long range; at a fixed
+	// r=1 with unit scales the known values are:
+	//  RBF: exp(-0.5) ~ 0.6065
+	//  Matern52: (1+sqrt5+5/3)exp(-sqrt5) ~ 0.5240
+	//  Matern32: (1+sqrt3)exp(-sqrt3) ~ 0.4850
+	a := []float64{0}
+	b := []float64{1}
+	rbf := RBF{LengthScale: 1, Variance: 1}.Eval(a, b)
+	m52 := Matern52{LengthScale: 1, Variance: 1}.Eval(a, b)
+	m32 := Matern32{LengthScale: 1, Variance: 1}.Eval(a, b)
+	if math.Abs(rbf-math.Exp(-0.5)) > 1e-12 {
+		t.Errorf("RBF(1) = %g", rbf)
+	}
+	want52 := (1 + math.Sqrt(5) + 5.0/3.0) * math.Exp(-math.Sqrt(5))
+	if math.Abs(m52-want52) > 1e-12 {
+		t.Errorf("Matern52(1) = %g, want %g", m52, want52)
+	}
+	want32 := (1 + math.Sqrt(3)) * math.Exp(-math.Sqrt(3))
+	if math.Abs(m32-want32) > 1e-12 {
+		t.Errorf("Matern32(1) = %g, want %g", m32, want32)
+	}
+	if !(m32 < m52 && m52 < rbf) {
+		t.Errorf("smoothness ordering violated: %g %g %g", m32, m52, rbf)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, Options{}); err != ErrNoData {
+		t.Errorf("empty fit err = %v, want ErrNoData", err)
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("inconsistent dims accepted")
+	}
+}
+
+func TestInterpolationAtTrainingPoints(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{1, 3, 2}
+	g, err := Fit(xs, ys, Options{Noise: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mu, sigma := g.Predict(x)
+		if math.Abs(mu-ys[i]) > 1e-3 {
+			t.Errorf("mean at training point %v = %g, want %g", x, mu, ys[i])
+		}
+		if sigma > 0.01 {
+			t.Errorf("sigma at training point %v = %g, want ~0", x, sigma)
+		}
+	}
+}
+
+func TestUncertaintyGrowsAwayFromData(t *testing.T) {
+	xs := [][]float64{{0}, {0.1}, {0.2}}
+	ys := []float64{0, 0.1, 0.2}
+	g, err := Fit(xs, ys, Options{Kernel: Matern52{LengthScale: 0.2, Variance: 1}, Noise: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, near := g.Predict([]float64{0.15})
+	_, far := g.Predict([]float64{2})
+	if near >= far {
+		t.Errorf("sigma near data (%g) >= far from data (%g)", near, far)
+	}
+	// Far from data the mean reverts to the prior (sample mean of y).
+	mu, _ := g.Predict([]float64{100})
+	if math.Abs(mu-0.1) > 1e-6 {
+		t.Errorf("far-field mean = %g, want prior mean 0.1", mu)
+	}
+}
+
+func TestPredictMeanMatchesPredict(t *testing.T) {
+	rng := stats.NewRNG(4)
+	xs := make([][]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+		ys[i] = math.Sin(3*xs[i][0]) + xs[i][1]
+	}
+	g, err := Fit(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		mu, _ := g.Predict(x)
+		if math.Abs(mu-g.PredictMean(x)) > 1e-12 {
+			t.Fatal("PredictMean diverges from Predict")
+		}
+	}
+}
+
+func TestGPLearnsSmoothFunction(t *testing.T) {
+	// Fit y = sin(2πx) on a grid and check generalization between knots.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i <= 20; i++ {
+		x := float64(i) / 20
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(2*math.Pi*x))
+	}
+	g, err := Fit(xs, ys, Options{Kernel: Matern52{LengthScale: 0.3, Variance: 1}, Noise: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		x := (float64(i) + 0.5) / 40
+		mu, _ := g.Predict([]float64{x})
+		want := math.Sin(2 * math.Pi * x)
+		if math.Abs(mu-want) > 0.05 {
+			t.Errorf("prediction at %g = %g, want %g", x, mu, want)
+		}
+	}
+}
+
+func TestDuplicateInputsHandledViaJitter(t *testing.T) {
+	// Identical inputs with different noisy observations must not break
+	// the factorization.
+	xs := [][]float64{{0.5}, {0.5}, {0.5}, {0.6}}
+	ys := []float64{1.0, 1.1, 0.9, 2.0}
+	g, err := Fit(xs, ys, Options{Noise: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := g.Predict([]float64{0.5})
+	if mu < 0.8 || mu > 1.2 {
+		t.Errorf("duplicate-point mean = %g, want near 1.0", mu)
+	}
+	if g.Jitter() <= 0 {
+		t.Error("jitter should be positive")
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	g, err := Fit([][]float64{{0.3, 0.7}}, []float64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma := g.Predict([]float64{0.3, 0.7})
+	if math.Abs(mu-5) > 1e-6 || sigma > 0.05 {
+		t.Errorf("single-point posterior at datum: mu=%g sigma=%g", mu, sigma)
+	}
+	if g.NumObservations() != 1 {
+		t.Errorf("NumObservations = %d", g.NumObservations())
+	}
+}
+
+func TestLogMarginalLikelihoodPrefersTrueScale(t *testing.T) {
+	// Data drawn smooth; a wildly wrong (tiny) length scale should have
+	// lower marginal likelihood than a reasonable one.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i <= 15; i++ {
+		x := float64(i) / 15
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(2*x))
+	}
+	good, err := Fit(xs, ys, Options{Kernel: Matern52{LengthScale: 0.5, Variance: 1}, Noise: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Fit(xs, ys, Options{Kernel: Matern52{LengthScale: 0.005, Variance: 1}, Noise: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.LogMarginalLikelihood(ys) <= bad.LogMarginalLikelihood(ys) {
+		t.Error("marginal likelihood does not prefer the smooth model")
+	}
+}
+
+func TestLogMarginalLikelihoodPanicsOnMismatch(t *testing.T) {
+	g, err := Fit([][]float64{{0}}, []float64{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched ys did not panic")
+		}
+	}()
+	g.LogMarginalLikelihood([]float64{1, 2})
+}
+
+func TestMedianLengthScale(t *testing.T) {
+	// Unit square corners: distances {1,1,1,1,sqrt2,sqrt2}; median = 1.
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	if got := MedianLengthScale(xs); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MedianLengthScale = %g, want 1", got)
+	}
+	// Degenerate cases fall back to 1.
+	if got := MedianLengthScale(nil); got != 1 {
+		t.Errorf("empty input: %g", got)
+	}
+	if got := MedianLengthScale([][]float64{{1}, {1}}); got != 1 {
+		t.Errorf("identical points: %g", got)
+	}
+}
+
+func TestDefaultKernelIsMatern52(t *testing.T) {
+	g, err := Fit([][]float64{{0}, {1}}, []float64{0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kernel().Name() != "matern52" {
+		t.Errorf("default kernel = %s, want matern52", g.Kernel().Name())
+	}
+}
+
+func TestFitDoesNotAliasCallerSlices(t *testing.T) {
+	xs := [][]float64{{0.5}}
+	ys := []float64{1}
+	g, err := Fit(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs[0][0] = 99 // mutate the caller's slice
+	mu, _ := g.Predict([]float64{0.5})
+	if math.Abs(mu-1) > 1e-6 {
+		t.Error("GP aliased caller-owned input slice")
+	}
+}
+
+func TestFitTunedSelectsByEvidence(t *testing.T) {
+	// Smooth data: the tuned fit's marginal likelihood must be at least
+	// as good as the plain heuristic fit's.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i <= 25; i++ {
+		x := float64(i) / 25
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(4*x)+0.5*x)
+	}
+	plain, err := Fit(xs, ys, Options{Noise: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := FitTuned(xs, ys, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.LogMarginalLikelihood(ys) < plain.LogMarginalLikelihood(ys)-1e-9 {
+		t.Errorf("tuned evidence %g below heuristic %g",
+			tuned.LogMarginalLikelihood(ys), plain.LogMarginalLikelihood(ys))
+	}
+	// And it should still interpolate.
+	mu, _ := tuned.Predict([]float64{0.5})
+	want := math.Sin(2.0) + 0.25
+	if math.Abs(mu-want) > 0.1 {
+		t.Errorf("tuned prediction at 0.5 = %g, want ~%g", mu, want)
+	}
+}
+
+func TestFitTunedErrors(t *testing.T) {
+	if _, err := FitTuned(nil, nil, 1e-4); err == nil {
+		t.Error("empty fit accepted")
+	}
+}
+
+func TestPosteriorConsistentWithPredict(t *testing.T) {
+	rng := stats.NewRNG(18)
+	xs := make([][]float64, 12)
+	ys := make([]float64, 12)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+		ys[i] = math.Cos(2*xs[i][0]) * xs[i][1]
+	}
+	g, err := Fit(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := [][]float64{{0.2, 0.3}, {0.8, 0.1}, {0.5, 0.9}}
+	mu, cov := g.Posterior(points)
+	for i, x := range points {
+		wantMu, wantSigma := g.Predict(x)
+		if math.Abs(mu[i]-wantMu) > 1e-9 {
+			t.Errorf("point %d: posterior mean %g != Predict %g", i, mu[i], wantMu)
+		}
+		if math.Abs(math.Sqrt(math.Max(cov.At(i, i), 0))-wantSigma) > 1e-9 {
+			t.Errorf("point %d: posterior sqrt-var %g != Predict sigma %g",
+				i, math.Sqrt(cov.At(i, i)), wantSigma)
+		}
+	}
+	// Symmetry.
+	for i := range points {
+		for j := range points {
+			if math.Abs(cov.At(i, j)-cov.At(j, i)) > 1e-12 {
+				t.Fatal("posterior covariance not symmetric")
+			}
+		}
+	}
+}

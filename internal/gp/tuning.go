@@ -1,0 +1,58 @@
+package gp
+
+import "math"
+
+// FitTuned fits a GP whose Matérn-5/2 length scale is selected by
+// maximizing the log marginal likelihood over a multiplicative grid
+// around the median-distance heuristic. This is the no-gradient
+// counterpart of Skopt's hyperparameter optimization; it costs one
+// Cholesky factorization per grid point, so it is intended for offline
+// analysis and ablations rather than the 100 ms control loop (which uses
+// the heuristic directly).
+func FitTuned(xs [][]float64, ys []float64, noise float64) (*GP, error) {
+	base := MedianLengthScale(xs)
+	variance := sampleVariance(ys)
+	if variance < 0.01 {
+		variance = 0.01
+	}
+	grid := []float64{0.25, 0.5, 1, 2, 4}
+	var best *GP
+	bestEvidence := math.Inf(-1)
+	var lastErr error
+	for _, mult := range grid {
+		g, err := Fit(xs, ys, Options{
+			Kernel: Matern52{LengthScale: base * mult, Variance: variance},
+			Noise:  noise,
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if ev := g.LogMarginalLikelihood(ys); ev > bestEvidence {
+			bestEvidence = ev
+			best = g
+		}
+	}
+	if best == nil {
+		return nil, lastErr
+	}
+	return best, nil
+}
+
+func sampleVariance(ys []float64) float64 {
+	n := len(ys)
+	if n == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+	v := 0.0
+	for _, y := range ys {
+		d := y - mean
+		v += d * d
+	}
+	return v / float64(n)
+}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"satori/internal/trace"
+)
+
+// ExpOptions sizes an experiment reproduction. The zero value requests
+// the full paper-scale configuration; benches and smoke tests shrink
+// Ticks and MixLimit.
+type ExpOptions struct {
+	// Ticks is the per-run length in 100 ms intervals (default 600).
+	Ticks int
+	// Seed drives all randomness (default 42).
+	Seed uint64
+	// MixLimit caps how many job mixes a suite experiment runs
+	// (0 = all mixes the paper uses).
+	MixLimit int
+}
+
+func (o ExpOptions) fill() ExpOptions {
+	if o.Ticks <= 0 {
+		o.Ticks = 600
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+func (o ExpOptions) limitMixes(n int) int {
+	if o.MixLimit > 0 && o.MixLimit < n {
+		return o.MixLimit
+	}
+	return n
+}
+
+// Report is the textual reproduction of one paper figure or table.
+type Report struct {
+	// ID is the experiment identifier ("fig7", "scalability", ...).
+	ID string
+	// Title describes what the paper figure shows.
+	Title string
+	// Tables hold the reproduced rows/series.
+	Tables []*trace.Table
+	// Notes record observations, including divergences from the paper.
+	Notes []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a runnable figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ExpOptions) (*Report, error)
+}
+
+// Experiments returns the full registry, ordered as in the paper.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Optimal-throughput configuration drifts over time", RunFig1},
+		{"fig2", "Throughput-optimal vs fairness-optimal configurations differ", RunFig2},
+		{"fig3", "Opportunity to re-balance conflicting goals over time", RunFig3},
+		{"fig7", "Average throughput and fairness vs Balanced Oracle (PARSEC)", RunFig7},
+		{"fig8", "Per-mix throughput and fairness (21 PARSEC mixes)", RunFig8},
+		{"fig9", "Worst-performing job per mix (PARSEC)", RunFig9},
+		{"fig10", "Per-mix results (CloudSuite)", RunFig10},
+		{"fig11", "Per-mix results (ECP)", RunFig11},
+		{"fig12", "Suite averages (CloudSuite)", RunFig12},
+		{"fig13", "Suite averages (ECP)", RunFig13},
+		{"fig14", "Dynamic weight re-balancing and its benefit", RunFig14},
+		{"fig15", "Configuration distance to the Balanced Oracle", RunFig15},
+		{"fig16", "Sensitivity to prioritization and equalization periods", RunFig16},
+		{"fig17", "Objective value and proxy-model stability over time", RunFig17},
+		{"fig18", "Observed-performance variation with and without prioritization", RunFig18},
+		{"fig19", "Prioritizing the weaker goal outperforms the stronger", RunFig19},
+		{"mix-change", "Workload-mix change absorbed without re-initialization", RunMixChange},
+		{"scalability", "SATORI-PARTIES gap grows with co-location degree", RunScalability},
+		{"clite", "CLITE (BO, static objective) vs PARTIES and SATORI", RunCLITE},
+		{"ablation-resources", "SATORI restricted to dCAT's and CoPart's resources", RunAblationResources},
+		{"ablation-init", "Good vs random initial configuration set", RunAblationInit},
+		{"ablation-window", "Proxy-model window size", RunAblationWindow},
+		{"ablation-bounds", "Weight bounds 0.25/0.75 vs unbounded", RunAblationBounds},
+		{"ablation-noise", "SATORI vs IPS measurement-noise level", RunAblationNoise},
+		{"ablation-machine", "Portability across machine shapes", RunAblationMachine},
+		{"ablation-acquisition", "EI vs UCB, PI, Thompson sampling", RunAblationAcquisition},
+		{"replication", "Fig. 7 comparison across seeds with 95% CIs", RunReplication},
+		{"overhead", "BO engine cost per 100 ms interval", RunOverhead},
+		{"space", "Configuration-space sizes (Sec. II)", RunSpaceSize},
+	}
+}
+
+// FindExperiment looks an experiment up by ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// meansTable renders a SuiteResult's across-mix means in policy order.
+func meansTable(res *SuiteResult) *trace.Table {
+	tbl := trace.NewTable("policy", "throughput %oracle", "fairness %oracle", "worst-job %oracle")
+	for _, name := range res.Policies {
+		m := res.Means()[name]
+		tbl.AddRow(name, trace.Pct(m.PctThroughput), trace.Pct(m.PctFairness), trace.Pct(m.PctWorst))
+	}
+	return tbl
+}
+
+// perMixTable renders per-mix scores for every policy, mixes sorted by
+// the anchor policy's throughput (the paper sorts by SATORI's score).
+func perMixTable(res *SuiteResult, anchor string, value func(MixScore) float64) *trace.Table {
+	header := []string{"mix", "workloads"}
+	header = append(header, res.Policies...)
+	tbl := trace.NewTable(header...)
+	order := res.MixOrder(anchor)
+	for _, mixIdx := range order {
+		row := []string{fmt.Sprintf("%d", mixIdx), ""}
+		for _, name := range res.Policies {
+			sc, ok := res.ScoreFor(name, mixIdx)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			if row[1] == "" {
+				row[1] = strings.Join(shortNames(sc.MixNames), "+")
+			}
+			row = append(row, trace.Pct(value(sc)))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// shortNames abbreviates benchmark names for mix labels.
+func shortNames(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if len(n) > 5 {
+			n = n[:5]
+		}
+		out[i] = n
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+// Package harness runs resource-partitioning policies on the simulated
+// testbed and reproduces every figure of the SATORI paper's evaluation
+// (the per-figure drivers live in the experiments*.go files; DESIGN.md §5
+// is the index).
+//
+// A Run co-locates one job mix on one machine under one policy for a
+// fixed duration, sampling at 10 Hz, refreshing isolated baselines on the
+// equalization schedule of Algorithm 1, and recording per-tick normalized
+// throughput, fairness and (optionally) the distance to the Balanced
+// Oracle configuration. Results are reported as % of the Balanced Oracle
+// exactly as the paper presents them.
+package harness
+
+import (
+	"fmt"
+
+	"satori/internal/core"
+	"satori/internal/metrics"
+	"satori/internal/policies/oracle"
+	"satori/internal/policy"
+	"satori/internal/rdt"
+	"satori/internal/resource"
+	"satori/internal/sim"
+	"satori/internal/stats"
+	"satori/internal/trace"
+)
+
+// MetricSet selects the objective formulas for an experiment. The zero
+// value is the paper's primary pairing: geometric-mean speedup and Jain's
+// index.
+type MetricSet struct {
+	Throughput metrics.ThroughputMetric
+	Fairness   metrics.FairnessMetric
+}
+
+// PolicyFactory builds a policy for a prepared platform. Oracle policies
+// use the platform's simulator for noise-free model access.
+type PolicyFactory func(p *rdt.SimPlatform, seed uint64) (policy.Policy, error)
+
+// RunSpec fully describes one run.
+type RunSpec struct {
+	// Machine defaults to sim.DefaultMachine().
+	Machine *sim.MachineSpec
+	// Profiles are the co-located jobs.
+	Profiles []*sim.Profile
+	// Policy builds the strategy under test.
+	Policy PolicyFactory
+	// Ticks is the run length in 100 ms intervals (default 600 = 60 s).
+	Ticks int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// NoiseSigma forwards to sim.Options (0 = default 2%).
+	NoiseSigma float64
+	// Metrics selects objective formulas.
+	Metrics MetricSet
+	// BaselineResetTicks is the isolated-baseline refresh period
+	// (default 100 ticks = 10 s, the equalization period).
+	BaselineResetTicks int
+	// TrackOracleDistance additionally computes, each tick, the
+	// Balanced-Oracle configuration for the current phase state and
+	// records the Euclidean distance of the applied configuration to
+	// it (Fig. 15). Costs an oracle search per phase change.
+	TrackOracleDistance bool
+	// OracleOptions tunes the reference searcher when
+	// TrackOracleDistance is set.
+	OracleOptions oracle.Options
+	// KeepTrace retains the full per-tick series in the result.
+	KeepTrace bool
+}
+
+// Result aggregates one run.
+type Result struct {
+	// PolicyName is the policy's self-reported name.
+	PolicyName string
+	// Ticks is the number of completed intervals.
+	Ticks int
+	// MeanThroughput and MeanFairness are the run averages of the
+	// normalized scores — the quantities the paper averages "over the
+	// runtime of a job mix".
+	MeanThroughput float64
+	// MeanFairness is the run-average normalized fairness.
+	MeanFairness float64
+	// MeanObjective is the run average of 0.5·T + 0.5·F.
+	MeanObjective float64
+	// MeanWorstSpeedup is the run average of the slowest job's speedup
+	// (Fig. 9).
+	MeanWorstSpeedup float64
+	// StdThroughput and StdFairness are the tick-to-tick standard
+	// deviations of the normalized scores (Fig. 18's variation).
+	StdThroughput float64
+	StdFairness   float64
+	// MeanOracleDistance is the run-average configuration distance to
+	// the Balanced Oracle (only when TrackOracleDistance).
+	MeanOracleDistance float64
+	// MedianOracleDistance is the run-median of the same distance —
+	// robust to a BO policy's sparse exploration probes.
+	MedianOracleDistance float64
+	// Applies is how many configuration changes the platform accepted.
+	Applies int
+	// Trace holds per-tick columns when KeepTrace was set:
+	// tick, time, throughput, fairness, objective, worst, and — when
+	// the policy exposes them — wT, wF, wTE, wFE, wTP, wFP, satobj,
+	// proxychange, and oracledist when tracked.
+	Trace *trace.Series
+}
+
+// weightReporter is implemented by the SATORI engine for Fig. 14/17/19
+// instrumentation.
+type weightReporter interface {
+	LastWeights() core.Weights
+	LastObjective() float64
+	ProxyChange() float64
+}
+
+// Run executes one policy run.
+func Run(spec RunSpec) (*Result, error) {
+	machine := sim.DefaultMachine()
+	if spec.Machine != nil {
+		machine = *spec.Machine
+	}
+	if spec.Ticks <= 0 {
+		spec.Ticks = 600
+	}
+	if spec.BaselineResetTicks <= 0 {
+		spec.BaselineResetTicks = 100
+	}
+	if spec.Policy == nil {
+		return nil, fmt.Errorf("harness: RunSpec.Policy is required")
+	}
+	simulator, err := sim.New(machine, spec.Profiles, sim.Options{Seed: spec.Seed, NoiseSigma: spec.NoiseSigma})
+	if err != nil {
+		return nil, err
+	}
+	platform, err := rdt.NewSimPlatform(simulator)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := spec.Policy(platform, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var refSearcher *oracle.Searcher
+	refCache := map[string]resource.Config{}
+	if spec.TrackOracleDistance {
+		oopt := spec.OracleOptions
+		oopt.Seed = spec.Seed ^ 0xFACE
+		oopt.ThroughputMetric = spec.Metrics.Throughput
+		oopt.FairnessMetric = spec.Metrics.Fairness
+		refSearcher = oracle.NewSearcher(simulator, oopt)
+	}
+
+	isolated, err := platform.MeasureIsolated()
+	if err != nil {
+		return nil, err
+	}
+	current := platform.Current()
+	baselineReset := true
+
+	columns := []string{"tick", "time", "throughput", "fairness", "objective", "worst"}
+	wr, hasWeights := pol.(weightReporter)
+	if hasWeights {
+		columns = append(columns, "wT", "wF", "wTE", "wFE", "wTP", "wFP", "eqfrac", "satobj", "proxychange")
+	}
+	if spec.TrackOracleDistance {
+		columns = append(columns, "oracledist")
+	}
+	var series *trace.Series
+	if spec.KeepTrace {
+		series = trace.NewSeries(columns...)
+	}
+
+	res := &Result{PolicyName: pol.Name()}
+	var accT, accF, accObj, accWorst, accDist stats.Welford
+	var distSamples []float64
+
+	for tick := 1; tick <= spec.Ticks; tick++ {
+		ips, err := platform.Sample()
+		if err != nil {
+			return nil, err
+		}
+		speedups := metrics.Speedups(ips, isolated)
+		t := metrics.NormalizedThroughput(spec.Metrics.Throughput, ips, isolated)
+		f := metrics.NormalizedFairness(spec.Metrics.Fairness, ips, isolated)
+		obj := 0.5*t + 0.5*f
+		worst := metrics.WorstSpeedup(ips, isolated)
+		accT.Add(t)
+		accF.Add(f)
+		accObj.Add(obj)
+		accWorst.Add(worst)
+
+		obs := policy.Observation{
+			Tick:          tick,
+			Time:          simulator.Now(),
+			IPS:           ips,
+			Isolated:      isolated,
+			Speedups:      speedups,
+			Throughput:    t,
+			Fairness:      f,
+			BaselineReset: baselineReset,
+		}
+		baselineReset = false
+
+		next := pol.Decide(obs, current)
+		if err := platform.Apply(next); err == nil {
+			current = platform.Current()
+		}
+
+		var dist float64
+		if spec.TrackOracleDistance {
+			key := phaseKey(simulator)
+			ref, ok := refCache[key]
+			if !ok {
+				ref, _ = refSearcher.Search(0.5, 0.5)
+				refCache[key] = ref
+			}
+			if ref.Alloc != nil {
+				dist = resource.Distance(current, ref)
+				accDist.Add(dist)
+				distSamples = append(distSamples, dist)
+			}
+		}
+
+		if series != nil {
+			row := []float64{float64(tick), simulator.Now(), t, f, obj, worst}
+			if hasWeights {
+				w := wr.LastWeights()
+				row = append(row, w.T, w.F, w.TE, w.FE, w.TP, w.FP, w.EqFrac,
+					wr.LastObjective(), wr.ProxyChange())
+			}
+			if spec.TrackOracleDistance {
+				row = append(row, dist)
+			}
+			series.Add(row...)
+		}
+
+		// Algorithm 1 line 12-13: re-record isolated baselines every
+		// equalization period (phase and mix changes are thereby
+		// absorbed without re-initialization).
+		if tick%spec.BaselineResetTicks == 0 {
+			isolated, err = platform.MeasureIsolated()
+			if err != nil {
+				return nil, err
+			}
+			baselineReset = true
+		}
+	}
+
+	res.Ticks = spec.Ticks
+	res.MeanThroughput = accT.Mean()
+	res.MeanFairness = accF.Mean()
+	res.MeanObjective = accObj.Mean()
+	res.MeanWorstSpeedup = accWorst.Mean()
+	res.StdThroughput = accT.StdDev()
+	res.StdFairness = accF.StdDev()
+	res.MeanOracleDistance = accDist.Mean()
+	res.MedianOracleDistance = stats.Median(distSamples)
+	res.Applies = simulator.Applies()
+	res.Trace = series
+	return res, nil
+}
+
+// phaseKey mirrors the oracle's joint-phase cache key.
+func phaseKey(s *sim.Simulator) string {
+	key := ""
+	for j := 0; j < s.NumJobs(); j++ {
+		key += s.PhaseName(j) + "|"
+	}
+	return key
+}

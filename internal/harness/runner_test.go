@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"testing"
+
+	"satori/internal/core"
+	"satori/internal/workloads"
+)
+
+func smokeSpec(t *testing.T, factory PolicyFactory) RunSpec {
+	t.Helper()
+	mixes, err := workloads.PaperMixes(workloads.SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultSuiteBase(7, 120)
+	spec.Profiles = mixes[0].Profiles
+	spec.Policy = factory
+	return spec
+}
+
+func TestRunValidatesSpec(t *testing.T) {
+	if _, err := Run(RunSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	spec := smokeSpec(t, SatoriFactory(core.Options{}))
+	spec.Profiles = nil
+	if _, err := Run(spec); err == nil {
+		t.Error("spec without profiles accepted")
+	}
+}
+
+func TestRunProducesSaneAggregates(t *testing.T) {
+	res, err := Run(smokeSpec(t, SatoriFactory(core.Options{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyName != "satori" {
+		t.Errorf("policy name %q", res.PolicyName)
+	}
+	if res.Ticks != 120 {
+		t.Errorf("Ticks = %d", res.Ticks)
+	}
+	for name, v := range map[string]float64{
+		"throughput": res.MeanThroughput,
+		"fairness":   res.MeanFairness,
+		"objective":  res.MeanObjective,
+		"worst":      res.MeanWorstSpeedup,
+	} {
+		if v <= 0 || v > 1 {
+			t.Errorf("%s = %g out of (0, 1]", name, v)
+		}
+	}
+	if res.Trace != nil {
+		t.Error("trace retained without KeepTrace")
+	}
+	if res.Applies <= 0 {
+		t.Error("no configurations were ever applied")
+	}
+}
+
+func TestRunTraceColumns(t *testing.T) {
+	spec := smokeSpec(t, SatoriFactory(core.Options{}))
+	spec.KeepTrace = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Len() != 120 {
+		t.Fatal("trace missing or wrong length")
+	}
+	// SATORI runs include the weight instrumentation columns.
+	for _, col := range []string{"tick", "throughput", "fairness", "wT", "wF", "satobj", "proxychange"} {
+		vals := res.Trace.Column(col)
+		if len(vals) != 120 {
+			t.Errorf("column %s has %d values", col, len(vals))
+		}
+	}
+	// Weights must pair to 1 at every tick.
+	wT := res.Trace.Column("wT")
+	wF := res.Trace.Column("wF")
+	for i := range wT {
+		if d := wT[i] + wF[i] - 1; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("tick %d: wT+wF = %g", i, wT[i]+wF[i])
+		}
+	}
+}
+
+func TestRunWithoutWeightReporterOmitsColumns(t *testing.T) {
+	spec := smokeSpec(t, RandomFactory())
+	spec.KeepTrace = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("random-policy trace should not have weight columns")
+		}
+	}()
+	res.Trace.Column("wT")
+}
+
+func TestRunOracleDistanceTracking(t *testing.T) {
+	spec := smokeSpec(t, PARTIESFactory())
+	spec.TrackOracleDistance = true
+	spec.KeepTrace = true
+	spec.Ticks = 60
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanOracleDistance <= 0 {
+		t.Errorf("MeanOracleDistance = %g, want > 0", res.MeanOracleDistance)
+	}
+	dist := res.Trace.Column("oracledist")
+	if len(dist) != 60 {
+		t.Fatalf("oracledist column has %d values", len(dist))
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	a, err := Run(smokeSpec(t, SatoriFactory(core.Options{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smokeSpec(t, SatoriFactory(core.Options{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanThroughput != b.MeanThroughput || a.MeanFairness != b.MeanFairness {
+		t.Error("identical specs produced different results")
+	}
+}
+
+func TestAllFactoriesRun(t *testing.T) {
+	for _, nf := range CompetingPolicies() {
+		res, err := Run(smokeSpec(t, nf.Factory))
+		if err != nil {
+			t.Fatalf("%s: %v", nf.Name, err)
+		}
+		if res.MeanThroughput <= 0 {
+			t.Errorf("%s produced zero throughput", nf.Name)
+		}
+	}
+	for _, f := range []PolicyFactory{
+		SatoriStaticFactory(1), SatoriStaticFactory(0), StaticFactory(),
+	} {
+		if _, err := Run(smokeSpec(t, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"satori/internal/metrics"
+	"satori/internal/policies/oracle"
+	"satori/internal/sim"
+	"satori/internal/stats"
+	"satori/internal/workloads"
+)
+
+// MixScore is one policy's result on one job mix, normalized by the
+// Balanced Oracle run on the same mix — the "% of Balanced Oracle"
+// presentation used throughout Sec. V.
+type MixScore struct {
+	// MixIndex identifies the job mix.
+	MixIndex int
+	// MixNames are the co-located benchmarks.
+	MixNames []string
+	// PctThroughput and PctFairness are the policy's run-average
+	// normalized throughput/fairness as a fraction of the Balanced
+	// Oracle's (1.0 = oracle-equal).
+	PctThroughput float64
+	PctFairness   float64
+	// PctWorst is the worst job's speedup as a fraction of the
+	// oracle's worst-job speedup (Fig. 9).
+	PctWorst float64
+	// Raw is the underlying result.
+	Raw *Result
+}
+
+// SuiteResult holds every policy's scores across a mix set.
+type SuiteResult struct {
+	// Policies preserves the requested policy order.
+	Policies []string
+	// Scores maps policy name to per-mix scores (mix order).
+	Scores map[string][]MixScore
+	// OracleRaw holds the Balanced Oracle reference results per mix.
+	OracleRaw []*Result
+}
+
+// SuiteSpec describes a mix-set experiment.
+type SuiteSpec struct {
+	// Mixes are the job mixes to run (e.g. workloads.PaperMixes).
+	Mixes []workloads.Mix
+	// Policies are the strategies under test.
+	Policies []NamedFactory
+	// Base carries shared run parameters (Ticks, Seed, Metrics,
+	// NoiseSigma, Machine...). Policy and Profiles are overwritten.
+	Base RunSpec
+	// OracleOptions tunes the Balanced Oracle reference runs.
+	OracleOptions oracle.Options
+}
+
+// RunSuite runs every policy on every mix plus the Balanced Oracle
+// reference, and returns oracle-normalized scores.
+func RunSuite(spec SuiteSpec) (*SuiteResult, error) {
+	if len(spec.Mixes) == 0 {
+		return nil, fmt.Errorf("harness: no mixes to run")
+	}
+	if len(spec.Policies) == 0 {
+		return nil, fmt.Errorf("harness: no policies to run")
+	}
+	out := &SuiteResult{Scores: make(map[string][]MixScore)}
+	for _, nf := range spec.Policies {
+		out.Policies = append(out.Policies, nf.Name)
+	}
+	// The oracle must optimize the same objective formulas the
+	// experiment scores with.
+	oracleOpts := spec.OracleOptions
+	oracleOpts.ThroughputMetric = spec.Base.Metrics.Throughput
+	oracleOpts.FairnessMetric = spec.Base.Metrics.Fairness
+	for _, mix := range spec.Mixes {
+		// Reference: Balanced Oracle on the identical seed/workload.
+		oracleSpec := spec.Base
+		oracleSpec.Profiles = mix.Profiles
+		oracleSpec.Seed = spec.Base.Seed ^ uint64(mix.Index)*0x9E37
+		oracleSpec.Policy = OracleFactory(oracle.Balanced, oracleOpts)
+		oracleRes, err := Run(oracleSpec)
+		if err != nil {
+			return nil, fmt.Errorf("harness: oracle on mix %d: %w", mix.Index, err)
+		}
+		out.OracleRaw = append(out.OracleRaw, oracleRes)
+
+		for _, nf := range spec.Policies {
+			runSpec := spec.Base
+			runSpec.Profiles = mix.Profiles
+			runSpec.Seed = spec.Base.Seed ^ uint64(mix.Index)*0x9E37
+			runSpec.Policy = nf.Factory
+			res, err := Run(runSpec)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s on mix %d: %w", nf.Name, mix.Index, err)
+			}
+			out.Scores[nf.Name] = append(out.Scores[nf.Name], MixScore{
+				MixIndex:      mix.Index,
+				MixNames:      mix.Names(),
+				PctThroughput: ratio(res.MeanThroughput, oracleRes.MeanThroughput),
+				PctFairness:   ratio(res.MeanFairness, oracleRes.MeanFairness),
+				PctWorst:      ratio(res.MeanWorstSpeedup, oracleRes.MeanWorstSpeedup),
+				Raw:           res,
+			})
+		}
+	}
+	return out, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Mean aggregates one policy's scores across mixes.
+type Mean struct {
+	PctThroughput, PctFairness, PctWorst float64
+}
+
+// Means returns the across-mix averages per policy (Fig. 7/12/13).
+func (s *SuiteResult) Means() map[string]Mean {
+	out := make(map[string]Mean, len(s.Policies))
+	for name, scores := range s.Scores {
+		var t, f, w []float64
+		for _, sc := range scores {
+			t = append(t, sc.PctThroughput)
+			f = append(f, sc.PctFairness)
+			w = append(w, sc.PctWorst)
+		}
+		out[name] = Mean{
+			PctThroughput: stats.Mean(t),
+			PctFairness:   stats.Mean(f),
+			PctWorst:      stats.Mean(w),
+		}
+	}
+	return out
+}
+
+// SortedByPolicy returns one policy's mix scores sorted ascending by the
+// chosen key ("throughput" or "fairness") — the presentation of
+// Figs. 8/10/11, which sort mixes by SATORI's performance.
+func (s *SuiteResult) SortedByPolicy(name, key string) []MixScore {
+	scores := append([]MixScore(nil), s.Scores[name]...)
+	sort.Slice(scores, func(i, j int) bool {
+		if key == "fairness" {
+			return scores[i].PctFairness < scores[j].PctFairness
+		}
+		return scores[i].PctThroughput < scores[j].PctThroughput
+	})
+	return scores
+}
+
+// MixOrder returns mix indices sorted by the named policy's throughput
+// score, so other policies' rows can be presented in the same order.
+func (s *SuiteResult) MixOrder(name string) []int {
+	scores := s.SortedByPolicy(name, "throughput")
+	out := make([]int, len(scores))
+	for i, sc := range scores {
+		out[i] = sc.MixIndex
+	}
+	return out
+}
+
+// ScoreFor returns the named policy's score on a mix index.
+func (s *SuiteResult) ScoreFor(name string, mixIndex int) (MixScore, bool) {
+	for _, sc := range s.Scores[name] {
+		if sc.MixIndex == mixIndex {
+			return sc, true
+		}
+	}
+	return MixScore{}, false
+}
+
+// DefaultSuiteBase returns the standard run parameters used by the
+// figure reproductions: 60 s runs at 10 Hz on the default machine with
+// the paper's default metrics (sum-of-IPS normalized throughput is noted
+// in Sec. IV; we use the speedup geomean which the paper gives as its
+// primary formulation — both are available via Metrics).
+func DefaultSuiteBase(seed uint64, ticks int) RunSpec {
+	if ticks <= 0 {
+		ticks = 600
+	}
+	m := sim.DefaultMachine()
+	return RunSpec{
+		Machine: &m,
+		Ticks:   ticks,
+		Seed:    seed,
+		Metrics: DefaultMetrics(),
+	}
+}
+
+// DefaultMetrics returns the paper's default objective pairing (Sec. IV):
+// sum of instructions per second (normalized by the isolated sum) for
+// throughput and Jain's index for fairness.
+func DefaultMetrics() MetricSet {
+	return MetricSet{Throughput: metrics.SumIPS, Fairness: metrics.JainIndex}
+}

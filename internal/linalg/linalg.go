@@ -1,0 +1,182 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the Gaussian-process proxy model: symmetric positive-definite (SPD)
+// factorization via Cholesky, triangular solves, and log-determinants.
+//
+// Matrices are dense, row-major float64. The package is deliberately
+// minimal — it implements exactly what GP regression requires and nothing
+// more — but is numerically careful (jitter escalation for
+// near-singular kernels lives in package gp, log-determinant computed from
+// the Cholesky factor here).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when Cholesky factorization encounters a
+// non-positive pivot, meaning the matrix is not (numerically) symmetric
+// positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j] = element (i, j)
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = M·x. x must have length Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %d cols vs %d vector", m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full square storage)
+}
+
+// NewCholesky factorizes the SPD matrix a (only the lower triangle is
+// read). It returns ErrNotSPD when a pivot is not strictly positive.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotSPD
+				}
+				l[i*n+j] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// LAt returns element (i, j) of the lower-triangular factor L
+// (0 above the diagonal).
+func (c *Cholesky) LAt(i, j int) float64 {
+	if j > i {
+		return 0
+	}
+	return c.l[i*c.n+j]
+}
+
+// SolveVec solves A·x = b using the factorization (forward then backward
+// substitution). b is not modified.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("linalg: SolveVec dimension mismatch: %d vs %d", len(b), c.n))
+	}
+	y := c.SolveLower(b)
+	return c.solveUpper(y)
+}
+
+// SolveLower solves L·y = b by forward substitution. b is not modified.
+func (c *Cholesky) SolveLower(b []float64) []float64 {
+	n := c.n
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l[i*n+k] * y[k]
+		}
+		y[i] = sum / c.l[i*n+i]
+	}
+	return y
+}
+
+// solveUpper solves Lᵀ·x = y by backward substitution.
+func (c *Cholesky) solveUpper(y []float64) []float64 {
+	n := c.n
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= c.l[k*n+i] * x[k]
+		}
+		x[i] = sum / c.l[i*n+i]
+	}
+	return x
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii, computed stably from the factor.
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l[i*c.n+i])
+	}
+	return 2 * s
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot dimension mismatch: %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SquaredDistance returns ||a−b||².
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SquaredDistance dimension mismatch: %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,224 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"satori/internal/stats"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("Set/At mismatch")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dimensions did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	y := m.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+}
+
+func TestMulVecDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch did not panic")
+		}
+	}()
+	NewMatrix(2, 2).MulVec([]float64{1})
+}
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.LAt(0, 0)-2) > 1e-12 ||
+		math.Abs(c.LAt(1, 0)-1) > 1e-12 ||
+		math.Abs(c.LAt(1, 1)-math.Sqrt2) > 1e-12 ||
+		c.LAt(0, 1) != 0 {
+		t.Errorf("wrong factor: L = [[%g %g],[%g %g]]",
+			c.LAt(0, 0), c.LAt(0, 1), c.LAt(1, 0), c.LAt(1, 1))
+	}
+	if c.Size() != 2 {
+		t.Errorf("Size = %d", c.Size())
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3 and -1
+	if _, err := NewCholesky(a); err != ErrNotSPD {
+		t.Errorf("non-SPD accepted, err = %v", err)
+	}
+	b := NewMatrix(2, 3)
+	if _, err := NewCholesky(b); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+// randomSPD builds A = BᵀB + n·I, guaranteed SPD.
+func randomSPD(rng *stats.RNG, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(k, i) * b.At(k, j)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	return a
+}
+
+func TestCholeskySolveProperty(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		bvec := a.MulVec(x)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("SPD matrix rejected: %v", err)
+		}
+		got := c.SolveVec(bvec)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				t.Fatalf("solve error at %d: got %g want %g (n=%d)", i, got[i], x[i], n)
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	rng := stats.NewRNG(23)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// L·Lᵀ must reproduce A.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += c.LAt(i, k) * c.LAt(j, k)
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-8 {
+					t.Fatalf("reconstruction error at (%d,%d): %g vs %g", i, j, s, a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	// diag(2, 3) has log det = log 6.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LogDet(); math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("LogDet = %g, want log 6 = %g", got, math.Log(6))
+	}
+}
+
+func TestSolveLower(t *testing.T) {
+	// L = [[2,0],[1,1]]; L·y = [2, 3] -> y = [1, 2].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 2) // L = [[2,0],[1,1]]
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := c.SolveLower([]float64{2, 3})
+	if math.Abs(y[0]-1) > 1e-12 || math.Abs(y[1]-2) > 1e-12 {
+		t.Errorf("SolveLower = %v, want [1 2]", y)
+	}
+}
+
+func TestSolveVecDimMismatchPanics(t *testing.T) {
+	a := NewMatrix(1, 1)
+	a.Set(0, 0, 1)
+	c, _ := NewCholesky(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch did not panic")
+		}
+	}()
+	c.SolveVec([]float64{1, 2})
+}
+
+func TestDotAndSquaredDistance(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := SquaredDistance([]float64{0, 0}, []float64{3, 4}); got != 25 {
+		t.Errorf("SquaredDistance = %g, want 25", got)
+	}
+	for _, fn := range []func(){
+		func() { Dot([]float64{1}, []float64{1, 2}) },
+		func() { SquaredDistance([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("dimension mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

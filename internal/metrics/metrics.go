@@ -1,0 +1,157 @@
+// Package metrics implements the system-throughput and fairness objectives
+// from Sec. II of the SATORI paper.
+//
+// Throughput can be expressed as the geometric mean of co-located job
+// speedups (default), the harmonic mean of speedups, or the raw sum of
+// instructions per second. Fairness is Jain's fairness index 1/(1+CoV²)
+// (default) or the unbounded 1−CoV form; both are computed over the
+// speedups relative to each job's isolated (co-location-free) performance.
+//
+// All metric values returned by Normalized* functions lie in [0, 1] so the
+// SATORI objective f(x) = W_T·T(x) + W_F·F(x) can weigh them directly.
+package metrics
+
+import (
+	"fmt"
+
+	"satori/internal/stats"
+)
+
+// ThroughputMetric selects how system throughput is aggregated.
+type ThroughputMetric int
+
+const (
+	// GeoMeanSpeedup is the geometric mean of per-job speedups
+	// (Π s_i)^(1/N) — the paper's primary formulation.
+	GeoMeanSpeedup ThroughputMetric = iota
+	// HarmonicMeanSpeedup is the harmonic mean of per-job speedups.
+	HarmonicMeanSpeedup
+	// SumIPS is the sum of instructions per second across jobs, the
+	// default metric in the paper's evaluation (Sec. IV).
+	SumIPS
+)
+
+// String returns the metric's short name.
+func (m ThroughputMetric) String() string {
+	switch m {
+	case GeoMeanSpeedup:
+		return "geomean-speedup"
+	case HarmonicMeanSpeedup:
+		return "harmonic-speedup"
+	case SumIPS:
+		return "sum-ips"
+	default:
+		return fmt.Sprintf("ThroughputMetric(%d)", int(m))
+	}
+}
+
+// FairnessMetric selects how fairness is computed from speedups.
+type FairnessMetric int
+
+const (
+	// JainIndex is Jain's fairness index 1/(1+CoV²) over speedups —
+	// bounded in (0, 1], 1 meaning perfectly equal slowdowns.
+	JainIndex FairnessMetric = iota
+	// OneMinusCoV is the 1−CoV fairness metric; it is 1 under perfect
+	// fairness and can be negative under severe unfairness.
+	OneMinusCoV
+)
+
+// String returns the metric's short name.
+func (m FairnessMetric) String() string {
+	switch m {
+	case JainIndex:
+		return "jain"
+	case OneMinusCoV:
+		return "one-minus-cov"
+	default:
+		return fmt.Sprintf("FairnessMetric(%d)", int(m))
+	}
+}
+
+// Speedups converts per-job IPS observations into speedups relative to the
+// per-job isolated baselines. Jobs with a non-positive baseline yield a
+// speedup of 0 (they cannot be meaningfully normalized). The two slices
+// must have equal length.
+func Speedups(ips, isolated []float64) []float64 {
+	if len(ips) != len(isolated) {
+		panic(fmt.Sprintf("metrics: Speedups length mismatch %d vs %d", len(ips), len(isolated)))
+	}
+	s := make([]float64, len(ips))
+	for i := range ips {
+		if isolated[i] > 0 {
+			s[i] = ips[i] / isolated[i]
+		}
+	}
+	return s
+}
+
+// Throughput aggregates speedups (or raw IPS for SumIPS) with the chosen
+// metric. For SumIPS pass the raw per-job IPS values.
+func Throughput(m ThroughputMetric, values []float64) float64 {
+	switch m {
+	case GeoMeanSpeedup:
+		return stats.GeoMean(values)
+	case HarmonicMeanSpeedup:
+		return stats.HarmonicMean(values)
+	case SumIPS:
+		return stats.Sum(values)
+	default:
+		panic("metrics: unknown throughput metric")
+	}
+}
+
+// Fairness computes the chosen fairness metric over speedups.
+func Fairness(m FairnessMetric, speedups []float64) float64 {
+	cov := stats.CoV(speedups)
+	switch m {
+	case JainIndex:
+		return 1 / (1 + cov*cov)
+	case OneMinusCoV:
+		return 1 - cov
+	default:
+		panic("metrics: unknown fairness metric")
+	}
+}
+
+// Jain computes Jain's fairness index directly from speedups.
+func Jain(speedups []float64) float64 { return Fairness(JainIndex, speedups) }
+
+// NormalizedThroughput maps a throughput observation into [0, 1] as
+// required by the SATORI objective (Sec. III-B). Speedup-based metrics are
+// already in (0, 1] under partitioning (isolated performance is the
+// ceiling) and are clamped defensively; SumIPS is normalized against the
+// sum of isolated IPS, the natural upper envelope.
+func NormalizedThroughput(m ThroughputMetric, ips, isolated []float64) float64 {
+	switch m {
+	case GeoMeanSpeedup, HarmonicMeanSpeedup:
+		t := Throughput(m, Speedups(ips, isolated))
+		return stats.Clamp(t, 0, 1)
+	case SumIPS:
+		denom := stats.Sum(isolated)
+		if denom <= 0 {
+			return 0
+		}
+		return stats.Clamp(stats.Sum(ips)/denom, 0, 1)
+	default:
+		panic("metrics: unknown throughput metric")
+	}
+}
+
+// NormalizedFairness maps a fairness observation into [0, 1]. Jain's index
+// is already bounded; 1−CoV has no lower bound and is clamped at 0 per the
+// paper's normalization note in Sec. III-B.
+func NormalizedFairness(m FairnessMetric, ips, isolated []float64) float64 {
+	f := Fairness(m, Speedups(ips, isolated))
+	return stats.Clamp(f, 0, 1)
+}
+
+// WorstSpeedup returns the minimum per-job speedup — the "worst performing
+// job in a mix" quantity plotted in Fig. 9. An empty input yields 0.
+func WorstSpeedup(ips, isolated []float64) float64 {
+	s := Speedups(ips, isolated)
+	if len(s) == 0 {
+		return 0
+	}
+	return stats.Min(s)
+}

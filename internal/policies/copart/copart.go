@@ -1,0 +1,194 @@
+// Package copart reimplements the CoPart baseline (Park et al.,
+// EuroSys'19 [66] in the paper's numbering): coordinated partitioning of
+// the last-level cache and memory bandwidth for fairness-aware workload
+// consolidation.
+//
+// CoPart's structure — preserved here — is two separate finite state
+// machines, one per resource, that are not joint but are aware of each
+// other's decisions. Each FSM periodically inspects the per-job slowdowns
+// and transfers one unit of its resource from the least-slowed job to the
+// most-slowed job when the slowdown gap exceeds a hysteresis threshold.
+// The FSMs alternate (so at most one resource moves per epoch) and share
+// the decision history: an FSM skips its turn while the other FSM's
+// transfer for the same needy job is still settling, which is the
+// cross-FSM communication the paper describes.
+package copart
+
+import (
+	"fmt"
+
+	"satori/internal/policies/common"
+	"satori/internal/policy"
+	"satori/internal/resource"
+)
+
+// fsm is the per-resource state machine.
+type fsm struct {
+	row     int // resource row in the space
+	kind    resource.Kind
+	settled bool // false while this FSM's last transfer is settling
+	lastTo  int  // receiver of the FSM's last transfer
+
+	// Pending sensitivity check for the FSM's last transfer: CoPart
+	// classifies applications by whether they actually respond to a
+	// resource; a transfer whose receiver did not speed up is undone
+	// (by the inverse move on this FSM's own row, so the other FSM's
+	// interleaved decisions are untouched) and the (receiver, resource)
+	// pair is cooled down.
+	pending     bool
+	prevSpeedup float64
+	lastFrom    int         // donor of the FSM's last transfer
+	cooldown    map[int]int // receiver job -> epochs left insensitive
+}
+
+// Policy is the CoPart dual-FSM engine.
+type Policy struct {
+	space *resource.Space
+	fsms  []*fsm
+	epoch *common.Epoch
+	turn  int
+	// gap is the minimum speedup spread (max−min) that triggers a
+	// transfer; below it the partition is considered fair enough.
+	gap float64
+	// coolEpochs is how long a receiver stays classified insensitive
+	// to a resource after a transfer of it failed to help.
+	coolEpochs int
+}
+
+// Options tunes the policy.
+type Options struct {
+	// EpochTicks is the FSM decision period in 100 ms intervals
+	// (default 5 = 0.5 s, CoPart's reaction granularity).
+	EpochTicks int
+	// SlowdownGap is the fairness hysteresis threshold on the
+	// max−min speedup spread (default 0.10).
+	SlowdownGap float64
+}
+
+// New builds a CoPart policy. The space must contain LLC ways and memory
+// bandwidth (the two resources CoPart manages); any other resources stay
+// at their initial partition.
+func New(space *resource.Space, opt Options) (*Policy, error) {
+	var fsms []*fsm
+	for i, r := range space.Resources {
+		if r.Kind == resource.LLCWays || r.Kind == resource.MemBW {
+			fsms = append(fsms, &fsm{
+				row: i, kind: r.Kind, settled: true,
+				cooldown: make(map[int]int),
+			})
+		}
+	}
+	if len(fsms) != 2 {
+		return nil, fmt.Errorf("copart: space must contain llc-ways and mem-bw, found %d of them", len(fsms))
+	}
+	if opt.EpochTicks <= 0 {
+		opt.EpochTicks = 5
+	}
+	if opt.SlowdownGap <= 0 {
+		opt.SlowdownGap = 0.10
+	}
+	return &Policy{
+		space:      space,
+		fsms:       fsms,
+		epoch:      common.NewEpoch(opt.EpochTicks),
+		gap:        opt.SlowdownGap,
+		coolEpochs: 20,
+	}, nil
+}
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "copart" }
+
+// Decide implements policy.Policy.
+func (p *Policy) Decide(obs policy.Observation, current resource.Config) resource.Config {
+	if obs.BaselineReset {
+		p.epoch.Reset()
+		for _, f := range p.fsms {
+			f.settled = true
+			f.pending = false
+			f.cooldown = make(map[int]int)
+		}
+	}
+	if _, done := p.epoch.Add(0); !done {
+		return current
+	}
+	// One FSM acts per epoch; the other observes. A transfer made in
+	// the previous epoch has now had one full epoch to settle.
+	for _, f := range p.fsms {
+		f.settled = true
+		for j := range f.cooldown {
+			if f.cooldown[j]--; f.cooldown[j] <= 0 {
+				delete(f.cooldown, j)
+			}
+		}
+	}
+	f := p.fsms[p.turn%len(p.fsms)]
+	p.turn++
+
+	// Sensitivity classification: check the FSM's previous transfer.
+	// If the receiver did not respond to the extra resource, undo the
+	// transfer and classify the job insensitive to it for a while.
+	if f.pending {
+		f.pending = false
+		if obs.Speedups[f.lastTo] < f.prevSpeedup+0.01 {
+			f.cooldown[f.lastTo] = p.coolEpochs
+			if undone, ok := p.space.Move(current, f.row, f.lastTo, f.lastFrom); ok {
+				return undone
+			}
+		}
+	}
+
+	slow, fast := common.ArgMinMax(obs.Speedups)
+	if obs.Speedups[fast]-obs.Speedups[slow] < p.gap {
+		return current // fair enough; hold
+	}
+	// Pick the most-slowed job not currently classified insensitive to
+	// this FSM's resource.
+	recv := -1
+	for j := range obs.Speedups {
+		if _, cooled := f.cooldown[j]; cooled {
+			continue
+		}
+		if recv < 0 || obs.Speedups[j] < obs.Speedups[recv] {
+			recv = j
+		}
+	}
+	if recv < 0 || recv == fast {
+		return current
+	}
+	// Cross-FSM awareness: if the other FSM just boosted this same
+	// needy job, wait for that to take effect before piling on.
+	other := p.fsms[p.turn%len(p.fsms)]
+	if !other.settled && other.lastTo == recv {
+		return current
+	}
+	from := fast
+	next, ok := p.space.Move(current, f.row, from, recv)
+	if !ok {
+		// The least-slowed job has nothing left to give in this
+		// resource; try the next-fastest donor.
+		from = -1
+		best := -1.0
+		for j, s := range obs.Speedups {
+			if j == recv || current.Alloc[f.row][j] <= 1 {
+				continue
+			}
+			if s > best {
+				best, from = s, j
+			}
+		}
+		if from < 0 {
+			return current
+		}
+		next, ok = p.space.Move(current, f.row, from, recv)
+		if !ok {
+			return current
+		}
+	}
+	f.settled = false
+	f.lastTo = recv
+	f.lastFrom = from
+	f.pending = true
+	f.prevSpeedup = obs.Speedups[recv]
+	return next
+}

@@ -1,0 +1,135 @@
+package copart
+
+import (
+	"testing"
+
+	"satori/internal/policy"
+	"satori/internal/resource"
+)
+
+func testSpace() *resource.Space {
+	return resource.MustNewSpace(3,
+		resource.Resource{Kind: resource.Cores, Units: 6},
+		resource.Resource{Kind: resource.LLCWays, Units: 8},
+		resource.Resource{Kind: resource.MemBW, Units: 8},
+	)
+}
+
+func TestNewValidation(t *testing.T) {
+	onlyCores := resource.MustNewSpace(2, resource.Resource{Kind: resource.Cores, Units: 4})
+	if _, err := New(onlyCores, Options{}); err == nil {
+		t.Error("space without LLC+BW accepted")
+	}
+	noBW := resource.MustNewSpace(2,
+		resource.Resource{Kind: resource.Cores, Units: 4},
+		resource.Resource{Kind: resource.LLCWays, Units: 4})
+	if _, err := New(noBW, Options{}); err == nil {
+		t.Error("space without mem-bw accepted")
+	}
+	p, err := New(testSpace(), Options{})
+	if err != nil || p.Name() != "copart" {
+		t.Fatalf("valid space rejected: %v", err)
+	}
+}
+
+// sensitiveEnv: job 0 is slowed and responds to both ways and bandwidth;
+// jobs 1 and 2 run fast.
+func sensitiveEnv(c resource.Config) []float64 {
+	ways0 := float64(c.Alloc[1][0])
+	bw0 := float64(c.Alloc[2][0])
+	return []float64{0.10 + 0.04*ways0 + 0.03*bw0, 0.75, 0.70}
+}
+
+func TestTransfersResourcesToSlowedJob(t *testing.T) {
+	space := testSpace()
+	p, err := New(space, Options{EpochTicks: 2, SlowdownGap: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := space.EqualSplit()
+	equal := space.EqualSplit()
+	for tick := 1; tick <= 400; tick++ {
+		sp := sensitiveEnv(cur)
+		obs := policy.Observation{
+			Tick: tick, Speedups: sp,
+			Throughput: 0.4, Fairness: 0.8, BaselineReset: tick == 1,
+		}
+		next := p.Decide(obs, cur)
+		if err := space.Validate(next); err != nil {
+			t.Fatalf("invalid config: %v", err)
+		}
+		// CoPart never touches cores.
+		for j := range next.Alloc[0] {
+			if next.Alloc[0][j] != equal.Alloc[0][j] {
+				t.Fatalf("tick %d: CoPart changed the cores row", tick)
+			}
+		}
+		cur = next
+	}
+	if cur.Alloc[1][0] <= equal.Alloc[1][0] && cur.Alloc[2][0] <= equal.Alloc[2][0] {
+		t.Errorf("slowed job received nothing: ways=%d bw=%d", cur.Alloc[1][0], cur.Alloc[2][0])
+	}
+}
+
+func TestInsensitiveReceiverIsRevertedAndCooled(t *testing.T) {
+	space := testSpace()
+	p, err := New(space, Options{EpochTicks: 1, SlowdownGap: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 0 is slow but completely insensitive: transfers never help,
+	// so CoPart must revert them and stop piling resources on job 0.
+	insensitive := func(resource.Config) []float64 { return []float64{0.2, 0.7, 0.7} }
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 300; tick++ {
+		obs := policy.Observation{
+			Tick: tick, Speedups: insensitive(cur),
+			Throughput: 0.4, Fairness: 0.8, BaselineReset: tick == 1,
+		}
+		cur = p.Decide(obs, cur)
+	}
+	// The classification must have prevented unbounded accumulation:
+	// job 0 cannot hold nearly all units of ways or bandwidth.
+	if cur.Alloc[1][0] > 5 || cur.Alloc[2][0] > 5 {
+		t.Errorf("insensitive job accumulated resources: ways=%d bw=%d", cur.Alloc[1][0], cur.Alloc[2][0])
+	}
+}
+
+func TestHoldsWhenFairEnough(t *testing.T) {
+	space := testSpace()
+	p, err := New(space, Options{EpochTicks: 1, SlowdownGap: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 50; tick++ {
+		obs := policy.Observation{
+			Tick: tick, Speedups: []float64{0.50, 0.52, 0.49},
+			Throughput: 0.5, Fairness: 0.99, BaselineReset: tick == 1,
+		}
+		next := p.Decide(obs, cur)
+		if !next.Equal(cur) {
+			t.Fatalf("tick %d: policy acted despite gap below threshold", tick)
+		}
+	}
+}
+
+func TestBaselineResetClearsState(t *testing.T) {
+	space := testSpace()
+	p, err := New(space, Options{EpochTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 120; tick++ {
+		reset := tick == 1 || tick == 60
+		obs := policy.Observation{
+			Tick: tick, Speedups: sensitiveEnv(cur),
+			Throughput: 0.4, Fairness: 0.8, BaselineReset: reset,
+		}
+		cur = p.Decide(obs, cur)
+		if err := space.Validate(cur); err != nil {
+			t.Fatalf("invalid config after reset: %v", err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package dcat reimplements the dCAT baseline (Xu et al., EuroSys'18 [90]
+// in the paper's numbering): dynamic last-level-cache way partitioning
+// that improves system throughput by classifying co-located jobs into
+// cache "donors" and "receivers" and shifting ways from the former to the
+// latter.
+//
+// As in the original, only the LLC is managed — cores and memory
+// bandwidth stay at their initial (equal) partition — and decisions are
+// made by measuring whether a trial reallocation actually improved
+// throughput, reverting it when it did not. Phase changes re-open the
+// search because a kept improvement resets the candidate ordering and a
+// baseline reset clears all trial state.
+package dcat
+
+import (
+	"fmt"
+	"sort"
+
+	"satori/internal/policies/common"
+	"satori/internal/policy"
+	"satori/internal/resource"
+)
+
+type state int
+
+const (
+	measuring state = iota // accumulating the incumbent's score
+	trialing               // accumulating a trial move's score
+	idle                   // local optimum reached; waiting to re-probe
+)
+
+// move is a candidate way transfer.
+type move struct{ donor, receiver int }
+
+// Policy is the dCAT way-reallocation engine.
+type Policy struct {
+	space  *resource.Space
+	llcRow int
+
+	epoch     *common.Epoch
+	st        state
+	baseScore float64
+	saved     resource.Config // configuration to revert to if the trial fails
+	queue     []move          // candidate moves, most promising first
+	idleLeft  int
+	idleSpan  int
+}
+
+// Options tunes the policy.
+type Options struct {
+	// EpochTicks is how many 100 ms intervals each measurement spans
+	// (default 5 = 0.5 s, matching dCAT's sub-second reaction time).
+	EpochTicks int
+	// IdleEpochs is how long to sit at a local optimum before
+	// re-probing (default 10 epochs).
+	IdleEpochs int
+}
+
+// New builds a dCAT policy over space. The space must include an LLCWays
+// resource.
+func New(space *resource.Space, opt Options) (*Policy, error) {
+	row := -1
+	for i, r := range space.Resources {
+		if r.Kind == resource.LLCWays {
+			row = i
+		}
+	}
+	if row < 0 {
+		return nil, fmt.Errorf("dcat: space has no %s resource", resource.LLCWays)
+	}
+	if opt.EpochTicks <= 0 {
+		opt.EpochTicks = 5
+	}
+	if opt.IdleEpochs <= 0 {
+		opt.IdleEpochs = 10
+	}
+	return &Policy{
+		space:    space,
+		llcRow:   row,
+		epoch:    common.NewEpoch(opt.EpochTicks),
+		idleSpan: opt.IdleEpochs * opt.EpochTicks,
+	}, nil
+}
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "dcat" }
+
+// score is the throughput objective dCAT maximizes.
+func (p *Policy) score(obs policy.Observation) float64 { return obs.Throughput }
+
+// rebuildQueue orders candidate way moves by expected benefit: receivers
+// are the most-slowed jobs (likely cache-starved), donors the
+// least-slowed (their ways are cheap to give up) — the donor/receiver
+// classification at the heart of dCAT.
+func (p *Policy) rebuildQueue(speedups []float64, current resource.Config) {
+	type ranked struct {
+		job int
+		sp  float64
+	}
+	jobs := make([]ranked, len(speedups))
+	for j, s := range speedups {
+		jobs[j] = ranked{job: j, sp: s}
+	}
+	byNeed := append([]ranked(nil), jobs...) // ascending speedup: needy first
+	sort.Slice(byNeed, func(a, b int) bool { return byNeed[a].sp < byNeed[b].sp })
+	byWealth := append([]ranked(nil), jobs...) // descending speedup: donors first
+	sort.Slice(byWealth, func(a, b int) bool { return byWealth[a].sp > byWealth[b].sp })
+
+	p.queue = p.queue[:0]
+	for _, recv := range byNeed {
+		for _, don := range byWealth {
+			if don.job == recv.job {
+				continue
+			}
+			if current.Alloc[p.llcRow][don.job] <= 1 {
+				continue // cannot drop below the 1-way floor
+			}
+			p.queue = append(p.queue, move{donor: don.job, receiver: recv.job})
+		}
+	}
+}
+
+// Decide implements policy.Policy.
+func (p *Policy) Decide(obs policy.Observation, current resource.Config) resource.Config {
+	if obs.BaselineReset {
+		// Job mix or baseline changed: drop all learned state.
+		p.st = measuring
+		p.epoch.Reset()
+		p.queue = nil
+		p.idleLeft = 0
+	}
+	switch p.st {
+	case idle:
+		p.idleLeft--
+		if p.idleLeft <= 0 {
+			p.st = measuring
+			p.epoch.Reset()
+		}
+		return current
+
+	case measuring:
+		mean, done := p.epoch.Add(p.score(obs))
+		if !done {
+			return current
+		}
+		p.baseScore = mean
+		p.rebuildQueue(obs.Speedups, current)
+		return p.startTrial(current)
+
+	case trialing:
+		mean, done := p.epoch.Add(p.score(obs))
+		if !done {
+			return current
+		}
+		if mean > p.baseScore {
+			// Keep the improvement and continue climbing from it.
+			p.baseScore = mean
+			p.rebuildQueue(obs.Speedups, current)
+			return p.startTrial(current)
+		}
+		// Revert and try the next candidate pair.
+		return p.startTrial(p.saved)
+	}
+	return current
+}
+
+// startTrial applies the next queued move on top of base, or goes idle
+// when no candidates remain.
+func (p *Policy) startTrial(base resource.Config) resource.Config {
+	for len(p.queue) > 0 {
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		next, ok := p.space.Move(base, p.llcRow, m.donor, m.receiver)
+		if !ok {
+			continue
+		}
+		p.saved = base.Clone()
+		p.st = trialing
+		p.epoch.Reset()
+		return next
+	}
+	p.st = idle
+	p.idleLeft = p.idleSpan
+	return base
+}

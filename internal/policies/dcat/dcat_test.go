@@ -1,0 +1,130 @@
+package dcat
+
+import (
+	"testing"
+
+	"satori/internal/policy"
+	"satori/internal/resource"
+)
+
+func testSpace() *resource.Space {
+	return resource.MustNewSpace(3,
+		resource.Resource{Kind: resource.Cores, Units: 6},
+		resource.Resource{Kind: resource.LLCWays, Units: 8},
+		resource.Resource{Kind: resource.MemBW, Units: 6},
+	)
+}
+
+// env scores configurations: throughput rises with job 0's ways (job 0 is
+// the cache receiver; the others are donors).
+type env struct {
+	space *resource.Space
+}
+
+func (e env) observe(tick int, c resource.Config, reset bool) policy.Observation {
+	ways0 := float64(c.Alloc[1][0])
+	t := 0.30 + 0.04*ways0
+	speedups := []float64{0.2 + 0.02*ways0, 0.5, 0.5}
+	return policy.Observation{
+		Tick: tick, Time: float64(tick) * 0.1,
+		Speedups: speedups, Throughput: t, Fairness: 0.9,
+		BaselineReset: reset,
+	}
+}
+
+func TestNewRequiresLLC(t *testing.T) {
+	noLLC := resource.MustNewSpace(2, resource.Resource{Kind: resource.Cores, Units: 4})
+	if _, err := New(noLLC, Options{}); err == nil {
+		t.Error("space without LLC accepted")
+	}
+	if p, err := New(testSpace(), Options{}); err != nil || p.Name() != "dcat" {
+		t.Errorf("valid space rejected: %v", err)
+	}
+}
+
+func TestOnlyLLCRowChanges(t *testing.T) {
+	space := testSpace()
+	p, err := New(space, Options{EpochTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := env{space: space}
+	cur := space.EqualSplit()
+	equal := space.EqualSplit()
+	for tick := 1; tick <= 200; tick++ {
+		next := p.Decide(e.observe(tick, cur, tick == 1), cur)
+		if err := space.Validate(next); err != nil {
+			t.Fatalf("invalid config: %v", err)
+		}
+		for _, row := range []int{0, 2} { // cores, mem-bw
+			for j := range next.Alloc[row] {
+				if next.Alloc[row][j] != equal.Alloc[row][j] {
+					t.Fatalf("tick %d: dCAT changed non-LLC row %d", tick, row)
+				}
+			}
+		}
+		cur = next
+	}
+}
+
+func TestClimbsTowardCacheReceiver(t *testing.T) {
+	space := testSpace()
+	p, err := New(space, Options{EpochTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := env{space: space}
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 400; tick++ {
+		cur = p.Decide(e.observe(tick, cur, tick == 1), cur)
+	}
+	// Job 0 should have accumulated most of the ways (donors keep the
+	// 1-way floor).
+	if cur.Alloc[1][0] < 5 {
+		t.Errorf("job 0 ways = %d after climb, want >= 5 (alloc %v)", cur.Alloc[1][0], cur.Alloc[1])
+	}
+}
+
+func TestRevertsFailedTrials(t *testing.T) {
+	space := testSpace()
+	p, err := New(space, Options{EpochTicks: 1, IdleEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat environment: no move ever helps; the policy must end up
+	// back at (or equal to) the starting configuration and go idle.
+	flat := func(tick int, c resource.Config, reset bool) policy.Observation {
+		return policy.Observation{
+			Tick: tick, Speedups: []float64{0.5, 0.5, 0.5},
+			Throughput: 0.5, Fairness: 0.9, BaselineReset: reset,
+		}
+	}
+	start := space.EqualSplit()
+	cur := start
+	for tick := 1; tick <= 300; tick++ {
+		cur = p.Decide(flat(tick, cur, tick == 1), cur)
+	}
+	if !cur.Equal(start) {
+		t.Errorf("flat environment should end at the start config, got %s", cur.Key())
+	}
+}
+
+func TestBaselineResetClearsState(t *testing.T) {
+	space := testSpace()
+	p, err := New(space, Options{EpochTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := env{space: space}
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 50; tick++ {
+		cur = p.Decide(e.observe(tick, cur, tick == 1), cur)
+	}
+	// Reset mid-run: the policy must keep producing valid configs.
+	for tick := 51; tick <= 120; tick++ {
+		cur = p.Decide(e.observe(tick, cur, tick == 51), cur)
+		if err := space.Validate(cur); err != nil {
+			t.Fatalf("invalid config after reset: %v", err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package oracle implements the Brute-Force Search (Oracle) reference of
+// Sec. IV: an offline, practically-infeasible strategy with perfect
+// knowledge that picks, at every decision point, the configuration
+// maximizing a weighted combination of throughput and fairness. The three
+// paper variants are provided: Throughput Oracle (W_T=1, W_F=0), Fairness
+// Oracle (W_T=0, W_F=1) and Balanced Oracle (0.5/0.5) — the ceiling all
+// results are normalized against.
+//
+// The oracle evaluates the simulator's noise-free performance model
+// directly ("oracle knowledge"). Small spaces are searched exhaustively;
+// large ones (a 5-job × 3-resource PARSEC mix has ~3.3M configurations)
+// use multi-restart steepest-ascent hill climbing over the one-unit-move
+// neighborhood with a random-probe pool, which on the simulator's smooth
+// roofline model lands within noise of the exhaustive optimum (verified
+// in the package tests). Results are cached per joint program phase, so
+// the search only reruns when some job changes phase — the paper's own
+// observation that the optimum moves with phases.
+package oracle
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"satori/internal/metrics"
+	"satori/internal/policy"
+	"satori/internal/resource"
+	"satori/internal/sim"
+	"satori/internal/stats"
+)
+
+// Goal selects the oracle variant.
+type Goal int
+
+const (
+	// Balanced puts equal priority on throughput and fairness — the
+	// reference ceiling for all reported results.
+	Balanced Goal = iota
+	// Throughput maximizes only system throughput (W_T=1, W_F=0).
+	Throughput
+	// Fairness maximizes only fairness (W_T=0, W_F=1).
+	Fairness
+)
+
+// Weights returns the (W_T, W_F) pair of the goal.
+func (g Goal) Weights() (wT, wF float64) {
+	switch g {
+	case Throughput:
+		return 1, 0
+	case Fairness:
+		return 0, 1
+	default:
+		return 0.5, 0.5
+	}
+}
+
+// String names the goal.
+func (g Goal) String() string {
+	switch g {
+	case Throughput:
+		return "throughput-oracle"
+	case Fairness:
+		return "fairness-oracle"
+	default:
+		return "balanced-oracle"
+	}
+}
+
+// Options tunes the search.
+type Options struct {
+	// ExactLimit is the largest space size searched exhaustively
+	// (default 20,000 configurations).
+	ExactLimit float64
+	// Restarts is the number of random hill-climb restarts for large
+	// spaces, in addition to the equal-split and incumbent starts
+	// (default 4).
+	Restarts int
+	// Probes is the number of uniform random configurations scored as
+	// extra candidate starts (default 256).
+	Probes int
+	// Seed drives the restart randomness.
+	Seed uint64
+	// ThroughputMetric and FairnessMetric select the objective
+	// formulas (defaults: geomean speedup, Jain's index — the paper's
+	// primary formulations).
+	ThroughputMetric metrics.ThroughputMetric
+	FairnessMetric   metrics.FairnessMetric
+}
+
+func (o *Options) fill() {
+	if o.ExactLimit <= 0 {
+		o.ExactLimit = 20000
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 4
+	}
+	if o.Probes <= 0 {
+		o.Probes = 256
+	}
+}
+
+// Searcher finds optimal configurations on a simulator's noise-free
+// model.
+type Searcher struct {
+	sim   *sim.Simulator
+	space *resource.Space
+	opt   Options
+	rng   *stats.RNG
+	small bool
+}
+
+// NewSearcher builds a searcher over s.
+func NewSearcher(s *sim.Simulator, opt Options) *Searcher {
+	opt.fill()
+	return &Searcher{
+		sim:   s,
+		space: s.Space(),
+		opt:   opt,
+		rng:   stats.NewRNG(opt.Seed ^ 0x0AC1E),
+		small: s.Space().Size() <= opt.ExactLimit,
+	}
+}
+
+// objective scores a configuration under (wT, wF) on the noise-free model
+// at the jobs' current phases.
+func (s *Searcher) objective(c resource.Config, wT, wF float64) float64 {
+	ips, err := s.sim.ExactIPS(c)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	iso := s.sim.ExactIsolated()
+	t := metrics.NormalizedThroughput(s.opt.ThroughputMetric, ips, iso)
+	f := metrics.NormalizedFairness(s.opt.FairnessMetric, ips, iso)
+	return wT*t + wF*f
+}
+
+// Search returns the best configuration found for the weight pair at the
+// simulator's current phase state, along with its objective value.
+func (s *Searcher) Search(wT, wF float64) (resource.Config, float64) {
+	if s.small {
+		return s.exhaustive(wT, wF)
+	}
+	return s.hillClimb(wT, wF)
+}
+
+func (s *Searcher) exhaustive(wT, wF float64) (resource.Config, float64) {
+	var best resource.Config
+	bestVal := math.Inf(-1)
+	s.space.Enumerate(func(c resource.Config) bool {
+		if v := s.objective(c, wT, wF); v > bestVal {
+			bestVal = v
+			best = c.Clone()
+		}
+		return true
+	})
+	return best, bestVal
+}
+
+func (s *Searcher) hillClimb(wT, wF float64) (resource.Config, float64) {
+	// Candidate starts: equal split, the best of a random probe pool,
+	// and a few random restarts.
+	starts := []resource.Config{s.space.EqualSplit()}
+	var bestProbe resource.Config
+	bestProbeVal := math.Inf(-1)
+	for i := 0; i < s.opt.Probes; i++ {
+		c := s.space.Random(s.rng)
+		if v := s.objective(c, wT, wF); v > bestProbeVal {
+			bestProbeVal = v
+			bestProbe = c
+		}
+	}
+	if bestProbeVal > math.Inf(-1) {
+		starts = append(starts, bestProbe)
+	}
+	for i := 0; i < s.opt.Restarts; i++ {
+		starts = append(starts, s.space.Random(s.rng))
+	}
+
+	var best resource.Config
+	bestVal := math.Inf(-1)
+	for _, start := range starts {
+		c, v := s.climb(start, wT, wF)
+		if v > bestVal {
+			bestVal = v
+			best = c
+		}
+	}
+	return best, bestVal
+}
+
+// climb performs steepest-ascent over the one-unit-move neighborhood.
+func (s *Searcher) climb(start resource.Config, wT, wF float64) (resource.Config, float64) {
+	cur := start.Clone()
+	curVal := s.objective(cur, wT, wF)
+	for iter := 0; iter < 400; iter++ {
+		improved := false
+		for _, n := range s.space.Neighbors(cur) {
+			if v := s.objective(n, wT, wF); v > curVal+1e-12 {
+				cur, curVal = n, v
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curVal
+}
+
+// phaseKey identifies the joint phase state of all jobs; the optimum only
+// moves when this changes.
+func (s *Searcher) phaseKey() string {
+	var b strings.Builder
+	for j := 0; j < s.sim.NumJobs(); j++ {
+		b.WriteString(strconv.Itoa(j))
+		b.WriteByte(':')
+		b.WriteString(s.sim.PhaseName(j))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Policy wraps a Searcher as a policy.Policy, re-searching only when some
+// job's phase changes (cached per joint phase state).
+type Policy struct {
+	goal     Goal
+	searcher *Searcher
+	cache    map[string]resource.Config
+}
+
+// New builds an oracle policy of the given goal over simulator s.
+func New(goal Goal, s *sim.Simulator, opt Options) *Policy {
+	return &Policy{
+		goal:     goal,
+		searcher: NewSearcher(s, opt),
+		cache:    make(map[string]resource.Config),
+	}
+}
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return p.goal.String() }
+
+// Decide implements policy.Policy.
+func (p *Policy) Decide(_ policy.Observation, current resource.Config) resource.Config {
+	key := p.searcher.phaseKey()
+	if c, ok := p.cache[key]; ok {
+		return c
+	}
+	wT, wF := p.goal.Weights()
+	best, _ := p.searcher.Search(wT, wF)
+	if best.Alloc == nil {
+		return current
+	}
+	p.cache[key] = best
+	return best
+}

@@ -1,0 +1,198 @@
+// Package parties reimplements the PARTIES baseline (Chen et al.,
+// ASPLOS'19 [12] in the paper's numbering), adapted exactly as Sec. IV of
+// the SATORI paper describes: PARTIES' gradient-descent-style controller —
+// which adjusts one resource dimension at a time with upsize/downsize
+// probes and keeps a change only if it helped — re-targeted from QoS of
+// latency-critical services to the balanced objective
+// 0.5·throughput + 0.5·fairness over throughput-oriented jobs.
+//
+// The search structure is the defining feature preserved here: resources
+// are explored strictly one dimension at a time (never jointly), each
+// probe transfers one unit from the currently least-deserving job to the
+// most-deserving one, the result is measured for an epoch, and failed
+// probes are rolled back before moving on to the next resource dimension.
+// This is the "gradient descent method" whose susceptibility to local
+// maxima SATORI's joint BO exploration is designed to overcome.
+package parties
+
+import (
+	"satori/internal/policies/common"
+	"satori/internal/policy"
+	"satori/internal/resource"
+)
+
+type state int
+
+const (
+	measuring state = iota
+	probing
+	idle
+)
+
+// Policy is the adapted-PARTIES controller.
+type Policy struct {
+	space *resource.Space
+	epoch *common.Epoch
+
+	st        state
+	baseScore float64
+	saved     resource.Config
+	dim       int // resource dimension currently being explored
+	failed    int // consecutive dimensions without improvement
+	probeAlt  int // alternates receiver selection to escape ties
+	idleLeft  int
+	idleSpan  int
+}
+
+// Options tunes the policy.
+type Options struct {
+	// EpochTicks is the measurement window per probe in 100 ms
+	// intervals (default 5 = 0.5 s; PARTIES also uses sub-second
+	// adjustment periods).
+	EpochTicks int
+	// IdleEpochs is the hold time after a full no-improvement sweep of
+	// every dimension (default 10 epochs).
+	IdleEpochs int
+}
+
+// New builds the policy over space.
+func New(space *resource.Space, opt Options) *Policy {
+	if opt.EpochTicks <= 0 {
+		opt.EpochTicks = 5
+	}
+	if opt.IdleEpochs <= 0 {
+		opt.IdleEpochs = 10
+	}
+	return &Policy{
+		space:    space,
+		epoch:    common.NewEpoch(opt.EpochTicks),
+		idleSpan: opt.IdleEpochs * opt.EpochTicks,
+	}
+}
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "parties" }
+
+// Decide implements policy.Policy.
+func (p *Policy) Decide(obs policy.Observation, current resource.Config) resource.Config {
+	if obs.BaselineReset {
+		p.st = measuring
+		p.epoch.Reset()
+		p.failed = 0
+		p.idleLeft = 0
+	}
+	score := common.BalancedObjective(obs)
+	switch p.st {
+	case idle:
+		p.idleLeft--
+		if p.idleLeft <= 0 {
+			p.st = measuring
+			p.epoch.Reset()
+		}
+		return current
+
+	case measuring:
+		mean, done := p.epoch.Add(score)
+		if !done {
+			return current
+		}
+		p.baseScore = mean
+		return p.startProbe(current, obs.Speedups)
+
+	case probing:
+		mean, done := p.epoch.Add(score)
+		if !done {
+			return current
+		}
+		if mean > p.baseScore {
+			// Keep the upsize and keep descending along the
+			// gradient; a success re-opens all dimensions.
+			p.baseScore = mean
+			p.failed = 0
+			return p.startProbe(current, obs.Speedups)
+		}
+		// Roll back, then move to the next resource dimension.
+		p.failed++
+		p.dim = (p.dim + 1) % len(p.space.Resources)
+		if p.failed >= 2*len(p.space.Resources) {
+			// A full sweep (with both receiver choices) found
+			// nothing: hold until the workload moves.
+			p.st = idle
+			p.idleLeft = p.idleSpan
+			p.failed = 0
+			return p.saved
+		}
+		return p.startProbe(p.saved, obs.Speedups)
+	}
+	return current
+}
+
+// startProbe transfers one unit of the active dimension from the
+// best-performing job to a needy job and starts measuring. The receiver
+// alternates between the slowest job (fairness pressure) and the job just
+// above it (throughput pressure) so ties do not wedge the search.
+func (p *Policy) startProbe(base resource.Config, speedups []float64) resource.Config {
+	for tries := 0; tries < len(p.space.Resources); tries++ {
+		slow, fast := common.ArgMinMax(speedups)
+		recv := slow
+		if p.probeAlt%2 == 1 {
+			// Second-neediest job as alternate receiver.
+			recv = secondSlowest(speedups, slow)
+		}
+		p.probeAlt++
+		if recv == fast {
+			recv = slow
+		}
+		next, ok := p.space.Move(base, p.dim, fast, recv)
+		if !ok {
+			// Donor at floor in this dimension; find any donor.
+			donor := richestDonor(base.Alloc[p.dim], speedups, recv)
+			if donor >= 0 {
+				next, ok = p.space.Move(base, p.dim, donor, recv)
+			}
+		}
+		if ok {
+			p.saved = base.Clone()
+			p.st = probing
+			p.epoch.Reset()
+			return next
+		}
+		// No legal move in this dimension at all; advance.
+		p.dim = (p.dim + 1) % len(p.space.Resources)
+	}
+	p.st = idle
+	p.idleLeft = p.idleSpan
+	return base
+}
+
+// secondSlowest returns the index of the second-smallest speedup.
+func secondSlowest(speedups []float64, slowest int) int {
+	best := -1
+	for j, s := range speedups {
+		if j == slowest {
+			continue
+		}
+		if best < 0 || s < speedups[best] {
+			best = j
+		}
+	}
+	if best < 0 {
+		return slowest
+	}
+	return best
+}
+
+// richestDonor returns the fastest job that still has more than one unit
+// in row, excluding recv; -1 when none exists.
+func richestDonor(row []int, speedups []float64, recv int) int {
+	donor := -1
+	for j, units := range row {
+		if j == recv || units <= 1 {
+			continue
+		}
+		if donor < 0 || speedups[j] > speedups[donor] {
+			donor = j
+		}
+	}
+	return donor
+}

@@ -1,0 +1,137 @@
+package parties
+
+import (
+	"testing"
+
+	"satori/internal/policy"
+	"satori/internal/resource"
+)
+
+func testSpace() *resource.Space {
+	return resource.MustNewSpace(3,
+		resource.Resource{Kind: resource.Cores, Units: 9},
+		resource.Resource{Kind: resource.LLCWays, Units: 8},
+		resource.Resource{Kind: resource.MemBW, Units: 7},
+	)
+}
+
+// env: job 0 converts every resource into both speedup and objective;
+// jobs 1 and 2 are insensitive and fast.
+func observe(space *resource.Space, tick int, c resource.Config, reset bool) policy.Observation {
+	units0 := float64(c.Alloc[0][0] + c.Alloc[1][0] + c.Alloc[2][0])
+	sp := []float64{0.05 * units0, 0.7, 0.65}
+	obj := 0.3 + 0.02*units0
+	return policy.Observation{
+		Tick: tick, Speedups: sp,
+		Throughput: obj, Fairness: obj + 0.3,
+		BaselineReset: reset,
+	}
+}
+
+func TestProducesValidConfigs(t *testing.T) {
+	space := testSpace()
+	p := New(space, Options{EpochTicks: 2})
+	if p.Name() != "parties" {
+		t.Error("name wrong")
+	}
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 300; tick++ {
+		next := p.Decide(observe(space, tick, cur, tick == 1), cur)
+		if err := space.Validate(next); err != nil {
+			t.Fatalf("invalid config at %d: %v", tick, err)
+		}
+		cur = next
+	}
+}
+
+func TestGradientDescentUpsizesNeedyJob(t *testing.T) {
+	space := testSpace()
+	p := New(space, Options{EpochTicks: 2})
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 500; tick++ {
+		cur = p.Decide(observe(space, tick, cur, tick == 1), cur)
+	}
+	total0 := cur.Alloc[0][0] + cur.Alloc[1][0] + cur.Alloc[2][0]
+	eq := space.EqualSplit()
+	totalEq := eq.Alloc[0][0] + eq.Alloc[1][0] + eq.Alloc[2][0]
+	if total0 <= totalEq {
+		t.Errorf("needy job did not gain resources: %d units vs %d at equal split", total0, totalEq)
+	}
+}
+
+func TestOneDimensionAtATime(t *testing.T) {
+	// PARTIES' defining property: each probe adjusts a single resource
+	// dimension. A step may combine the rollback of a failed probe with
+	// the next dimension's probe, so consecutive configurations differ
+	// in at most two rows — never all three at once (which would be
+	// joint multi-resource exploration, SATORI's territory).
+	space := testSpace()
+	p := New(space, Options{EpochTicks: 1})
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 200; tick++ {
+		next := p.Decide(observe(space, tick, cur, tick == 1), cur)
+		changedRows := 0
+		for r := range next.Alloc {
+			for j := range next.Alloc[r] {
+				if next.Alloc[r][j] != cur.Alloc[r][j] {
+					changedRows++
+					break
+				}
+			}
+		}
+		if changedRows > 2 {
+			t.Fatalf("tick %d: %d resource rows changed in one step", tick, changedRows)
+		}
+		cur = next
+	}
+}
+
+func TestIdlesWhenNothingHelps(t *testing.T) {
+	space := testSpace()
+	p := New(space, Options{EpochTicks: 1, IdleEpochs: 5})
+	flat := func(tick int, reset bool) policy.Observation {
+		return policy.Observation{
+			Tick: tick, Speedups: []float64{0.5, 0.5, 0.5},
+			Throughput: 0.5, Fairness: 0.9, BaselineReset: reset,
+		}
+	}
+	start := space.EqualSplit()
+	cur := start
+	holds := 0
+	atStart := 0
+	var prev resource.Config
+	for tick := 1; tick <= 400; tick++ {
+		next := p.Decide(flat(tick, tick == 1), cur)
+		if prev.Alloc != nil && next.Equal(prev) {
+			holds++
+		}
+		if next.Equal(start) {
+			atStart++
+		}
+		prev = next
+		cur = next
+	}
+	// A policy that finds no improvement must spend a substantial part
+	// of its time holding (idle periods) rather than thrashing, and
+	// every failed probe must be rolled back, so the start config is
+	// where it keeps returning.
+	if holds < 120 {
+		t.Errorf("policy held only %d of 400 ticks in a flat environment", holds)
+	}
+	if atStart < 150 {
+		t.Errorf("policy was at the start config only %d of 400 ticks; rollbacks broken?", atStart)
+	}
+}
+
+func TestBaselineResetRestartsSearch(t *testing.T) {
+	space := testSpace()
+	p := New(space, Options{EpochTicks: 2})
+	cur := space.EqualSplit()
+	for tick := 1; tick <= 150; tick++ {
+		reset := tick == 1 || tick == 75
+		cur = p.Decide(observe(space, tick, cur, reset), cur)
+		if err := space.Validate(cur); err != nil {
+			t.Fatalf("invalid config after reset: %v", err)
+		}
+	}
+}

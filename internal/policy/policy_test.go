@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"testing"
+
+	"satori/internal/resource"
+)
+
+func testSpace() *resource.Space {
+	return resource.MustNewSpace(3,
+		resource.Resource{Kind: resource.Cores, Units: 6},
+		resource.Resource{Kind: resource.LLCWays, Units: 5},
+	)
+}
+
+func TestStaticPolicyHolds(t *testing.T) {
+	space := testSpace()
+	p := Static{}
+	if p.Name() != "static" {
+		t.Error("name wrong")
+	}
+	cur := space.EqualSplit()
+	next := p.Decide(Observation{Tick: 1}, cur)
+	if !next.Equal(cur) {
+		t.Error("static policy changed the configuration")
+	}
+}
+
+func TestRandomPolicyValidAndFresh(t *testing.T) {
+	space := testSpace()
+	p := NewRandom(space, 9)
+	if p.Name() != "random" {
+		t.Error("name wrong")
+	}
+	cur := space.EqualSplit()
+	seen := map[string]bool{}
+	repeats := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		next := p.Decide(Observation{Tick: i}, cur)
+		if err := space.Validate(next); err != nil {
+			t.Fatalf("invalid config at %d: %v", i, err)
+		}
+		if seen[next.Key()] {
+			repeats++
+		}
+		seen[next.Key()] = true
+		cur = next
+	}
+	// The space has C(5,2)*C(4,2) = 60 configurations; after they are
+	// exhausted repeats are expected, but the without-repetition rule
+	// must hold early on: the first 40 draws should be all distinct.
+	if repeats > n-40 {
+		t.Errorf("too many repeats: %d", repeats)
+	}
+	if len(seen) < 50 {
+		t.Errorf("only %d distinct configs visited; without-repetition sampling broken", len(seen))
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	space := testSpace()
+	a := NewRandom(space, 5)
+	b := NewRandom(space, 5)
+	cur := space.EqualSplit()
+	for i := 0; i < 20; i++ {
+		ca := a.Decide(Observation{}, cur)
+		cb := b.Decide(Observation{}, cur)
+		if !ca.Equal(cb) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

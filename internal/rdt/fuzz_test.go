@@ -1,0 +1,70 @@
+package rdt
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCPUList ensures the kernel CPU-list parser never panics and
+// that accepted inputs round-trip through FormatCPUList semantically.
+func FuzzParseCPUList(f *testing.F) {
+	for _, seed := range []string{"", "0", "0-2", "0,2-3,5", "7-9,11", "1,1,2", "x", "3-1", "-"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cpus, err := ParseCPUList(s)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, c := range cpus {
+			if c < 0 {
+				t.Fatalf("ParseCPUList(%q) produced negative cpu %d", s, c)
+			}
+		}
+		// Accepted inputs must survive a format/parse round trip as a
+		// set.
+		back, err := ParseCPUList(FormatCPUList(cpus))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		set := map[int]bool{}
+		for _, c := range cpus {
+			set[c] = true
+		}
+		for _, c := range back {
+			if !set[c] {
+				t.Fatalf("round trip of %q invented cpu %d", s, c)
+			}
+			delete(set, c)
+		}
+		if len(set) != 0 {
+			t.Fatalf("round trip of %q lost cpus %v", s, set)
+		}
+	})
+}
+
+// FuzzParseSchemata ensures the schemata parser never panics and that
+// accepted inputs contain both an L3 and an MB line.
+func FuzzParseSchemata(f *testing.F) {
+	for _, seed := range []string{
+		"L3:0=7\nMB:0=20\n", "L3:0=ff\nMB:0=100", "", "L3:0", "L2:0=1\nMB:0=10",
+		"L3:0=zz\nMB:0=20", "MB:0=20\nL3:0=38",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ja, err := ParseSchemata(s)
+		if err != nil {
+			return
+		}
+		if !strings.Contains(s, "L3") || !strings.Contains(s, "MB") {
+			t.Fatalf("ParseSchemata(%q) accepted input without both lines", s)
+		}
+		if ja.MBAPercent < 0 {
+			// Negative percents parse via Atoi; they are rejected at
+			// Plan.Validate time, which is the contract — but the
+			// parser must at least return what the text said.
+			_ = ja
+		}
+	})
+}

@@ -1,0 +1,239 @@
+// Package rdt models the hardware control plane the paper drives on its
+// Xeon testbed: Intel Cache Allocation Technology (CAT) way masks, Memory
+// Bandwidth Allocation (MBA) throttle levels, taskset-style core affinity
+// and a RAPL-style power cap. A resource.Config is compiled into a Plan —
+// per-job class-of-service settings with the same constraints real
+// hardware imposes (contiguous, non-overlapping CAT bitmasks; MBA percent
+// steps; disjoint CPU sets) — so swapping the simulator backend for a real
+// /sys/fs/resctrl backend would not change any caller.
+//
+// The Platform interface is the minimal control+monitor surface SATORI
+// needs: apply a partition, sample per-job IPS at 10 Hz, and re-measure
+// isolated baselines. SimPlatform implements it on internal/sim.
+package rdt
+
+import (
+	"fmt"
+	"strings"
+
+	"satori/internal/resource"
+	"satori/internal/sim"
+)
+
+// JobAllocation is the hardware view of one job's share under a Plan.
+type JobAllocation struct {
+	// Job is the job index (class of service).
+	Job int
+	// CPUSet lists the core IDs the job's threads are pinned to.
+	CPUSet []int
+	// CATMask is the contiguous LLC way bitmask (bit i = way i).
+	CATMask uint64
+	// MBAPercent is the memory-bandwidth throttle in percent, a
+	// multiple of the MBA step.
+	MBAPercent int
+	// PowerShare is the fraction of the socket power budget (0 when
+	// power is not partitioned).
+	PowerShare float64
+}
+
+// Plan is a compiled resource partitioning: one JobAllocation per job.
+type Plan struct {
+	Jobs []JobAllocation
+}
+
+// Compile translates a validated configuration into hardware settings.
+// Cores and LLC ways are handed out contiguously in job order, matching
+// how CAT requires contiguous way masks and how affinity is set in
+// practice to preserve locality.
+func Compile(space *resource.Space, c resource.Config) (Plan, error) {
+	if err := space.Validate(c); err != nil {
+		return Plan{}, fmt.Errorf("rdt: cannot compile invalid config: %w", err)
+	}
+	idx := func(kind resource.Kind) int {
+		for i, r := range space.Resources {
+			if r.Kind == kind {
+				return i
+			}
+		}
+		return -1
+	}
+	iCores, iWays, iBW, iPower := idx(resource.Cores), idx(resource.LLCWays), idx(resource.MemBW), idx(resource.Power)
+	plan := Plan{Jobs: make([]JobAllocation, space.Jobs)}
+	coreCursor, wayCursor := 0, 0
+	for j := 0; j < space.Jobs; j++ {
+		ja := JobAllocation{Job: j}
+		if iCores >= 0 {
+			n := c.Alloc[iCores][j]
+			for i := 0; i < n; i++ {
+				ja.CPUSet = append(ja.CPUSet, coreCursor)
+				coreCursor++
+			}
+		}
+		if iWays >= 0 {
+			n := c.Alloc[iWays][j]
+			if wayCursor+n > 64 {
+				return Plan{}, fmt.Errorf("rdt: way mask exceeds 64 bits")
+			}
+			ja.CATMask = ((uint64(1) << n) - 1) << wayCursor
+			wayCursor += n
+		}
+		if iBW >= 0 {
+			units := space.Resources[iBW].Units
+			// MBA exposes percent throttles in steps of
+			// 100/units (10% on the paper's platform).
+			ja.MBAPercent = c.Alloc[iBW][j] * 100 / units
+		}
+		if iPower >= 0 {
+			ja.PowerShare = float64(c.Alloc[iPower][j]) / float64(space.Resources[iPower].Units)
+		}
+		plan.Jobs[j] = ja
+	}
+	return plan, nil
+}
+
+// String renders the plan like a resctrl schemata dump, for logs.
+func (p Plan) String() string {
+	var b strings.Builder
+	for _, j := range p.Jobs {
+		fmt.Fprintf(&b, "COS%d: cpus=%v L3=0x%x MB=%d%%", j.Job, j.CPUSet, j.CATMask, j.MBAPercent)
+		if j.PowerShare > 0 {
+			fmt.Fprintf(&b, " PL=%.0f%%", j.PowerShare*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks the hardware invariants: disjoint CPU sets, disjoint
+// contiguous CAT masks, and MBA percents that are positive multiples of
+// the platform step.
+func (p Plan) Validate() error {
+	seenCPU := map[int]bool{}
+	var maskUnion uint64
+	for _, j := range p.Jobs {
+		for _, cpu := range j.CPUSet {
+			if seenCPU[cpu] {
+				return fmt.Errorf("rdt: cpu %d assigned to multiple jobs", cpu)
+			}
+			seenCPU[cpu] = true
+		}
+		if j.CATMask == 0 {
+			return fmt.Errorf("rdt: job %d has empty CAT mask", j.Job)
+		}
+		if j.CATMask&maskUnion != 0 {
+			return fmt.Errorf("rdt: job %d CAT mask overlaps another job", j.Job)
+		}
+		maskUnion |= j.CATMask
+		if !contiguous(j.CATMask) {
+			return fmt.Errorf("rdt: job %d CAT mask %#x not contiguous", j.Job, j.CATMask)
+		}
+		if j.MBAPercent <= 0 || j.MBAPercent > 100 {
+			return fmt.Errorf("rdt: job %d MBA percent %d out of range", j.Job, j.MBAPercent)
+		}
+	}
+	return nil
+}
+
+// contiguous reports whether the set bits of m form one run.
+func contiguous(m uint64) bool {
+	if m == 0 {
+		return false
+	}
+	// Strip trailing zeros, then adding 1 to a run of ones yields a
+	// power of two.
+	for m&1 == 0 {
+		m >>= 1
+	}
+	return m&(m+1) == 0
+}
+
+// Platform is the minimal control and monitoring surface SATORI and all
+// baseline policies run against — apply partitions, sample per-job IPS
+// each 100 ms interval, and (re)measure isolated baselines. A real
+// implementation would write resctrl schemata and read pqos counters; the
+// repository provides SimPlatform.
+type Platform interface {
+	// Space describes the partitionable resources and job count.
+	Space() *resource.Space
+	// Apply installs a resource partitioning configuration.
+	Apply(resource.Config) error
+	// Current returns the active configuration.
+	Current() resource.Config
+	// Sample advances one 100 ms monitoring interval and returns the
+	// observed per-job IPS.
+	Sample() ([]float64, error)
+	// MeasureIsolated returns fresh isolated-execution IPS baselines
+	// for every job (Algorithm 1 lines 3 and 13).
+	MeasureIsolated() ([]float64, error)
+	// JobNames labels the co-located jobs.
+	JobNames() []string
+}
+
+// SimPlatform adapts a *sim.Simulator to the Platform interface and keeps
+// the compiled hardware Plan in sync, exercising the same compile path a
+// real backend would use.
+type SimPlatform struct {
+	sim  *sim.Simulator
+	plan Plan
+}
+
+// NewSimPlatform wraps s. The initial equal-split plan is compiled
+// immediately.
+func NewSimPlatform(s *sim.Simulator) (*SimPlatform, error) {
+	p := &SimPlatform{sim: s}
+	plan, err := Compile(s.Space(), s.Current())
+	if err != nil {
+		return nil, err
+	}
+	p.plan = plan
+	return p, nil
+}
+
+// Space implements Platform.
+func (p *SimPlatform) Space() *resource.Space { return p.sim.Space() }
+
+// Apply implements Platform: it compiles and validates the hardware plan,
+// then installs the configuration in the simulator.
+func (p *SimPlatform) Apply(c resource.Config) error {
+	plan, err := Compile(p.sim.Space(), c)
+	if err != nil {
+		return err
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if err := p.sim.Apply(c); err != nil {
+		return err
+	}
+	p.plan = plan
+	return nil
+}
+
+// Current implements Platform.
+func (p *SimPlatform) Current() resource.Config { return p.sim.Current() }
+
+// Plan returns the most recently compiled hardware plan.
+func (p *SimPlatform) Plan() Plan { return p.plan }
+
+// Sample implements Platform.
+func (p *SimPlatform) Sample() ([]float64, error) {
+	return p.sim.Step().IPS, nil
+}
+
+// MeasureIsolated implements Platform.
+func (p *SimPlatform) MeasureIsolated() ([]float64, error) {
+	return p.sim.MeasureIsolated(), nil
+}
+
+// JobNames implements Platform.
+func (p *SimPlatform) JobNames() []string {
+	out := make([]string, p.sim.NumJobs())
+	for j := range out {
+		out[j] = p.sim.JobName(j)
+	}
+	return out
+}
+
+// Simulator exposes the wrapped simulator for oracle-style callers that
+// need noise-free model access.
+func (p *SimPlatform) Simulator() *sim.Simulator { return p.sim }

@@ -1,0 +1,204 @@
+package rdt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ResctrlWriter materializes a compiled Plan in the Linux resctrl
+// filesystem layout — the concrete deployment path on a real Intel RDT
+// machine. For every job it maintains a control group directory
+// containing the standard files:
+//
+//	<root>/satori-job<N>/schemata   "L3:<cacheID>=<hex mask>\nMB:<cacheID>=<percent>\n"
+//	<root>/satori-job<N>/cpus_list  "0-2,5"
+//
+// Pointing Root at /sys/fs/resctrl on a machine with CAT/MBA enabled (and
+// the process running with the needed privileges) applies partitions for
+// real; pointing it at any scratch directory exercises the identical
+// code path hermetically, which is how the tests run.
+//
+// Monitoring (the pqos side) is intentionally out of scope here: reading
+// IPS needs perf counters, not resctrl files, and stays behind the
+// Platform interface.
+type ResctrlWriter struct {
+	// Root is the resctrl mount point (or a scratch directory).
+	Root string
+	// CacheID is the L3 cache domain ID for the schemata lines
+	// (socket 0 by default).
+	CacheID int
+	// GroupPrefix names the control groups (default "satori-job").
+	GroupPrefix string
+}
+
+func (w ResctrlWriter) prefix() string {
+	if w.GroupPrefix == "" {
+		return "satori-job"
+	}
+	return w.GroupPrefix
+}
+
+// Apply writes one control group per job. Existing group directories are
+// reused (schemata rewritten in place), matching how resctrl groups are
+// managed on a live system.
+func (w ResctrlWriter) Apply(plan Plan) error {
+	if w.Root == "" {
+		return fmt.Errorf("rdt: ResctrlWriter needs a Root directory")
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	for _, ja := range plan.Jobs {
+		dir := filepath.Join(w.Root, fmt.Sprintf("%s%d", w.prefix(), ja.Job))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("rdt: creating control group: %w", err)
+		}
+		schemata := FormatSchemata(ja, w.CacheID)
+		if err := os.WriteFile(filepath.Join(dir, "schemata"), []byte(schemata), 0o644); err != nil {
+			return fmt.Errorf("rdt: writing schemata: %w", err)
+		}
+		cpus := FormatCPUList(ja.CPUSet)
+		if err := os.WriteFile(filepath.Join(dir, "cpus_list"), []byte(cpus+"\n"), 0o644); err != nil {
+			return fmt.Errorf("rdt: writing cpus_list: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadGroup reads back one job's schemata and cpu list — used to verify a
+// running deployment (and by the round-trip tests).
+func (w ResctrlWriter) ReadGroup(job int) (JobAllocation, error) {
+	dir := filepath.Join(w.Root, fmt.Sprintf("%s%d", w.prefix(), job))
+	schemata, err := os.ReadFile(filepath.Join(dir, "schemata"))
+	if err != nil {
+		return JobAllocation{}, err
+	}
+	ja, err := ParseSchemata(string(schemata))
+	if err != nil {
+		return JobAllocation{}, err
+	}
+	ja.Job = job
+	cpus, err := os.ReadFile(filepath.Join(dir, "cpus_list"))
+	if err != nil {
+		return JobAllocation{}, err
+	}
+	ja.CPUSet, err = ParseCPUList(strings.TrimSpace(string(cpus)))
+	if err != nil {
+		return JobAllocation{}, err
+	}
+	return ja, nil
+}
+
+// FormatSchemata renders the resctrl schemata lines for one job.
+func FormatSchemata(ja JobAllocation, cacheID int) string {
+	return fmt.Sprintf("L3:%d=%x\nMB:%d=%d\n", cacheID, ja.CATMask, cacheID, ja.MBAPercent)
+}
+
+// ParseSchemata parses L3/MB schemata lines (single cache domain).
+func ParseSchemata(s string) (JobAllocation, error) {
+	var ja JobAllocation
+	sawL3, sawMB := false, false
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return ja, fmt.Errorf("rdt: malformed schemata line %q", line)
+		}
+		_, value, ok := strings.Cut(rest, "=")
+		if !ok {
+			return ja, fmt.Errorf("rdt: malformed schemata assignment %q", line)
+		}
+		switch strings.TrimSpace(kind) {
+		case "L3":
+			mask, err := strconv.ParseUint(strings.TrimSpace(value), 16, 64)
+			if err != nil {
+				return ja, fmt.Errorf("rdt: bad L3 mask in %q: %w", line, err)
+			}
+			ja.CATMask = mask
+			sawL3 = true
+		case "MB":
+			pct, err := strconv.Atoi(strings.TrimSpace(value))
+			if err != nil {
+				return ja, fmt.Errorf("rdt: bad MB percent in %q: %w", line, err)
+			}
+			ja.MBAPercent = pct
+			sawMB = true
+		default:
+			return ja, fmt.Errorf("rdt: unsupported schemata resource %q", kind)
+		}
+	}
+	if !sawL3 || !sawMB {
+		return ja, fmt.Errorf("rdt: schemata missing L3 or MB line")
+	}
+	return ja, nil
+}
+
+// FormatCPUList renders a CPU set in the kernel's list format with
+// collapsed ranges ("0-2,5,7-8").
+func FormatCPUList(cpus []int) string {
+	if len(cpus) == 0 {
+		return ""
+	}
+	sorted := append([]int(nil), cpus...)
+	sort.Ints(sorted)
+	var parts []string
+	start, prev := sorted[0], sorted[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, strconv.Itoa(start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, c := range sorted[1:] {
+		if c == prev {
+			continue // duplicates collapse
+		}
+		if c == prev+1 {
+			prev = c
+			continue
+		}
+		flush()
+		start, prev = c, c
+	}
+	flush()
+	return strings.Join(parts, ",")
+}
+
+// ParseCPUList parses the kernel CPU list format.
+func ParseCPUList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("rdt: bad cpu range %q", part)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil || b < a {
+				return nil, fmt.Errorf("rdt: bad cpu range %q", part)
+			}
+			for c := a; c <= b; c++ {
+				out = append(out, c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("rdt: bad cpu id %q", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

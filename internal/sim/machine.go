@@ -1,0 +1,107 @@
+// Package sim implements the multicore co-location substrate that stands
+// in for the paper's Intel Xeon Skylake testbed (see DESIGN.md §1 for the
+// substitution rationale).
+//
+// The simulator models N co-located jobs sharing partitionable resources
+// (cores, LLC ways, memory-bandwidth steps, optionally a power cap). Each
+// job runs a looping schedule of phases; each phase defines the job's
+// sensitivity to every resource. Instantaneous IPS under an allocation
+// (c cores, w ways, b bandwidth units) is
+//
+//	coreScale  = Amdahl(c; serial) / Amdahl(totalCores; serial)
+//	mpi(w)     = mpiMin + (mpiMax − mpiMin)·exp(−(w−1)/waysHalf)
+//	ipsCompute = ipsPeak · coreScale / (1 + memStallCost·mpi(w))
+//	ipsBwBound = b·bwUnitBytes / (mpi(w)·lineBytes)
+//	IPS        = min(ipsCompute, ipsBwBound) · powerScale
+//
+// The min() between the compute-bound and bandwidth-bound rates creates
+// the cache↔bandwidth coupling that motivates SATORI's joint
+// multi-resource exploration, and phase changes move each job's optimum
+// over time exactly as the paper's Fig. 1 characterizes. Observed IPS
+// carries multiplicative measurement noise; oracle-style callers can query
+// the noise-free model directly.
+package sim
+
+import (
+	"fmt"
+
+	"satori/internal/resource"
+)
+
+// MachineSpec describes the partitionable hardware, defaulting to the
+// paper's testbed shape: 10 physical cores, an 11-way shared LLC, and
+// memory bandwidth controlled in ten 10%-steps (Intel MBA granularity).
+type MachineSpec struct {
+	// Cores is the number of physical cores (allocation unit: 1 core).
+	Cores int
+	// LLCWays is the number of last-level-cache ways (CAT unit: 1 way).
+	LLCWays int
+	// MemBWUnits is the number of memory-bandwidth allocation steps.
+	MemBWUnits int
+	// MemBWBytesPerUnit is the bandwidth of one step in bytes/second.
+	MemBWBytesPerUnit float64
+	// LineBytes is the cache-line size used to convert misses to bytes.
+	LineBytes float64
+	// PowerUnits is the number of power-cap shares; 0 disables power
+	// partitioning (the default — the paper's main evaluation
+	// partitions cores, LLC and bandwidth).
+	PowerUnits int
+	// MinPowerScale is the relative performance at the smallest power
+	// share (frequency floor); only meaningful when PowerUnits > 0.
+	MinPowerScale float64
+}
+
+// DefaultMachine returns the paper-testbed-shaped machine: 10 cores,
+// 11 LLC ways, 10 bandwidth steps of 7.68 GB/s (76.8 GB/s total, typical
+// for a Skylake-SP socket), 64-byte lines, no power partitioning.
+func DefaultMachine() MachineSpec {
+	return MachineSpec{
+		Cores:             10,
+		LLCWays:           11,
+		MemBWUnits:        10,
+		MemBWBytesPerUnit: 7.68e9,
+		LineBytes:         64,
+		PowerUnits:        0,
+		MinPowerScale:     0.55,
+	}
+}
+
+// Validate reports whether the spec is usable.
+func (m MachineSpec) Validate() error {
+	if m.Cores < 1 || m.LLCWays < 1 || m.MemBWUnits < 1 {
+		return fmt.Errorf("sim: machine needs at least 1 unit of each resource, got %+v", m)
+	}
+	if m.MemBWBytesPerUnit <= 0 || m.LineBytes <= 0 {
+		return fmt.Errorf("sim: bandwidth unit and line size must be positive")
+	}
+	if m.PowerUnits > 0 && (m.MinPowerScale <= 0 || m.MinPowerScale > 1) {
+		return fmt.Errorf("sim: MinPowerScale must be in (0, 1], got %g", m.MinPowerScale)
+	}
+	return nil
+}
+
+// Space builds the resource.Space for jobs co-located on this machine.
+// The space always covers cores, LLC ways and memory bandwidth, plus the
+// power cap when PowerUnits > 0 — matching the set of knobs the paper's
+// SATORI deployment controls.
+func (m MachineSpec) Space(jobs int) (*resource.Space, error) {
+	rs := []resource.Resource{
+		{Kind: resource.Cores, Units: m.Cores},
+		{Kind: resource.LLCWays, Units: m.LLCWays},
+		{Kind: resource.MemBW, Units: m.MemBWUnits},
+	}
+	if m.PowerUnits > 0 {
+		rs = append(rs, resource.Resource{Kind: resource.Power, Units: m.PowerUnits})
+	}
+	return resource.NewSpace(jobs, rs...)
+}
+
+// resourceIndex locates kind in the space rows produced by Space.
+func resourceIndex(space *resource.Space, kind resource.Kind) int {
+	for i, r := range space.Resources {
+		if r.Kind == kind {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "fmt"
+
+// Phase describes one program phase of a workload: a quantum of work with
+// fixed resource sensitivities. Jobs progress through phases by completing
+// instructions (fixed-work methodology, Sec. IV), so a starved job stays
+// in its phase longer — exactly like a real program.
+type Phase struct {
+	// Name identifies the phase in traces.
+	Name string
+	// Instructions is the amount of work in the phase; when the job has
+	// executed this many instructions it advances to the next phase.
+	Instructions float64
+	// IPSPeak is the instructions/second the phase would achieve with
+	// every core, zero cache misses and unlimited bandwidth.
+	IPSPeak float64
+	// SerialFrac is the Amdahl serial fraction governing core scaling:
+	// 0 is embarrassingly parallel, 1 never benefits from a second core.
+	SerialFrac float64
+	// MPIMax is the misses-per-instruction with a single LLC way.
+	MPIMax float64
+	// MPIMin is the floor misses-per-instruction with unlimited ways
+	// (compulsory + streaming misses).
+	MPIMin float64
+	// WaysHalf is the exponential decay constant of the miss-ratio
+	// curve: small values mean a small working set that fits quickly.
+	WaysHalf float64
+	// MemStallCost converts misses/instruction into a slowdown factor
+	// for the compute-bound rate (≈ average miss penalty in units of
+	// per-instruction cost).
+	MemStallCost float64
+	// PowerSensitivity in [0, 1] scales how strongly a reduced power
+	// share slows this phase (1 = fully frequency-bound).
+	PowerSensitivity float64
+}
+
+// Validate reports whether the phase parameters are physically sensible.
+func (p Phase) Validate() error {
+	switch {
+	case p.Instructions <= 0:
+		return fmt.Errorf("sim: phase %q: Instructions must be positive", p.Name)
+	case p.IPSPeak <= 0:
+		return fmt.Errorf("sim: phase %q: IPSPeak must be positive", p.Name)
+	case p.SerialFrac < 0 || p.SerialFrac > 1:
+		return fmt.Errorf("sim: phase %q: SerialFrac %g outside [0,1]", p.Name, p.SerialFrac)
+	case p.MPIMin < 0 || p.MPIMax < p.MPIMin:
+		return fmt.Errorf("sim: phase %q: need 0 <= MPIMin <= MPIMax, got %g, %g", p.Name, p.MPIMin, p.MPIMax)
+	case p.WaysHalf <= 0:
+		return fmt.Errorf("sim: phase %q: WaysHalf must be positive", p.Name)
+	case p.MemStallCost < 0:
+		return fmt.Errorf("sim: phase %q: MemStallCost must be non-negative", p.Name)
+	case p.PowerSensitivity < 0 || p.PowerSensitivity > 1:
+		return fmt.Errorf("sim: phase %q: PowerSensitivity %g outside [0,1]", p.Name, p.PowerSensitivity)
+	}
+	return nil
+}
+
+// Profile is a workload: a named, looping schedule of phases.
+type Profile struct {
+	// Name is the benchmark name (e.g. "fluidanimate").
+	Name string
+	// Suite is the benchmark suite ("parsec", "cloudsuite", "ecp").
+	Suite string
+	// Phases is the phase schedule; the job loops back to Phases[0]
+	// after the last phase completes.
+	Phases []Phase
+}
+
+// Validate checks the profile and all its phases.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("sim: profile with empty name")
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("sim: profile %q has no phases", p.Name)
+	}
+	for _, ph := range p.Phases {
+		if err := ph.Validate(); err != nil {
+			return fmt.Errorf("sim: profile %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"satori/internal/resource"
+	"satori/internal/stats"
+)
+
+// TickSeconds is the monitoring and reconfiguration interval: 100 ms,
+// matching the paper's 10 Hz pqos sampling and 0.1 s allocation updates.
+const TickSeconds = 0.1
+
+// Options tunes simulator construction.
+type Options struct {
+	// Seed drives all simulator randomness; equal seeds replay
+	// identically.
+	Seed uint64
+	// NoiseSigma is the relative std-dev of multiplicative measurement
+	// noise on observed IPS. Defaults to 0.02 (~2%, typical for pqos
+	// counters on short windows). Set negative for noise-free runs.
+	NoiseSigma float64
+}
+
+// Simulator co-locates a set of jobs on one machine and advances time in
+// 100 ms ticks under a current resource partitioning configuration.
+type Simulator struct {
+	spec  MachineSpec
+	space *resource.Space
+	jobs  []*job
+	rng   *stats.RNG
+	sigma float64
+
+	current resource.Config
+	ticks   int
+	applies int // number of Apply calls that changed the configuration
+
+	iCores, iWays, iBW, iPower int // resource row indices
+}
+
+type job struct {
+	profile  *Profile
+	phaseIdx int
+	workDone float64 // instructions completed in the current phase
+}
+
+// New builds a simulator running one job per profile, starting from the
+// equal-split configuration of Algorithm 1.
+func New(spec MachineSpec, profiles []*Profile, opt Options) (*Simulator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("sim: need at least one job")
+	}
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	space, err := spec.Space(len(profiles))
+	if err != nil {
+		return nil, err
+	}
+	sigma := opt.NoiseSigma
+	if sigma == 0 {
+		sigma = 0.02
+	}
+	if sigma < 0 {
+		sigma = 0
+	}
+	s := &Simulator{
+		spec:   spec,
+		space:  space,
+		rng:    stats.NewRNG(opt.Seed ^ 0x5A70121),
+		sigma:  sigma,
+		iCores: resourceIndex(space, resource.Cores),
+		iWays:  resourceIndex(space, resource.LLCWays),
+		iBW:    resourceIndex(space, resource.MemBW),
+		iPower: resourceIndex(space, resource.Power),
+	}
+	for _, p := range profiles {
+		s.jobs = append(s.jobs, &job{profile: p})
+	}
+	s.current = space.EqualSplit()
+	return s, nil
+}
+
+// Space returns the configuration space of this co-location.
+func (s *Simulator) Space() *resource.Space { return s.space }
+
+// Spec returns the machine description.
+func (s *Simulator) Spec() MachineSpec { return s.spec }
+
+// NumJobs returns the number of co-located jobs.
+func (s *Simulator) NumJobs() int { return len(s.jobs) }
+
+// JobName returns the profile name of job j.
+func (s *Simulator) JobName(j int) string { return s.jobs[j].profile.Name }
+
+// Now returns the simulated time in seconds.
+func (s *Simulator) Now() float64 { return float64(s.ticks) * TickSeconds }
+
+// Ticks returns the number of completed 100 ms steps.
+func (s *Simulator) Ticks() int { return s.ticks }
+
+// Applies returns how many configuration changes have been applied — the
+// reconfiguration count used in overhead accounting.
+func (s *Simulator) Applies() int { return s.applies }
+
+// Current returns (a copy of) the active configuration.
+func (s *Simulator) Current() resource.Config { return s.current.Clone() }
+
+// Apply installs a new resource partitioning configuration, taking effect
+// from the next Step. Identical configurations are deduplicated (real
+// CAT/MBA MSR writes are skipped when nothing changes).
+func (s *Simulator) Apply(c resource.Config) error {
+	if err := s.space.Validate(c); err != nil {
+		return err
+	}
+	if !s.current.Equal(c) {
+		s.current = c.Clone()
+		s.applies++
+	}
+	return nil
+}
+
+// PhaseName returns the name of job j's current phase.
+func (s *Simulator) PhaseName(j int) string {
+	jb := s.jobs[j]
+	return jb.profile.Phases[jb.phaseIdx].Name
+}
+
+// ReplaceJob swaps job j's workload for a new profile, modeling a job
+// departure followed by a new arrival in the same slot (the workload-mix
+// change of Algorithm 1 line 12). The new job starts at its first phase;
+// the resource partition is left untouched — it is the policy's task to
+// adapt, which Sec. III-C notes requires no re-initialization in SATORI.
+func (s *Simulator) ReplaceJob(j int, p *Profile) error {
+	if j < 0 || j >= len(s.jobs) {
+		return fmt.Errorf("sim: ReplaceJob index %d out of range (%d jobs)", j, len(s.jobs))
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.jobs[j] = &job{profile: p}
+	return nil
+}
+
+// phase returns job j's current phase.
+func (j *job) phase() Phase { return j.profile.Phases[j.phaseIdx] }
+
+// alloc extracts job j's units of every resource from config c.
+type alloc struct {
+	cores, ways, bw, power int
+}
+
+func (s *Simulator) jobAlloc(c resource.Config, j int) alloc {
+	a := alloc{
+		cores: c.Alloc[s.iCores][j],
+		ways:  c.Alloc[s.iWays][j],
+		bw:    c.Alloc[s.iBW][j],
+	}
+	if s.iPower >= 0 {
+		a.power = c.Alloc[s.iPower][j]
+	}
+	return a
+}
+
+// fullAlloc is the whole machine (isolated execution).
+func (s *Simulator) fullAlloc() alloc {
+	return alloc{cores: s.spec.Cores, ways: s.spec.LLCWays, bw: s.spec.MemBWUnits, power: s.spec.PowerUnits}
+}
+
+// amdahl returns the parallel speedup on c cores for serial fraction f.
+func amdahl(c int, f float64) float64 {
+	return 1 / (f + (1-f)/float64(c))
+}
+
+// mpi evaluates the phase's miss-ratio curve at w ways.
+func (p Phase) mpi(w int) float64 {
+	return p.MPIMin + (p.MPIMax-p.MPIMin)*math.Exp(-float64(w-1)/p.WaysHalf)
+}
+
+// ipsModel returns the noise-free instantaneous IPS of phase p under
+// allocation a on machine m.
+func (s *Simulator) ipsModel(p Phase, a alloc) float64 {
+	coreScale := amdahl(a.cores, p.SerialFrac) / amdahl(s.spec.Cores, p.SerialFrac)
+	mpi := p.mpi(a.ways)
+	ipsCompute := p.IPSPeak * coreScale / (1 + p.MemStallCost*mpi)
+	ips := ipsCompute
+	if mpi > 0 {
+		bwBytes := float64(a.bw) * s.spec.MemBWBytesPerUnit
+		if bound := bwBytes / (mpi * s.spec.LineBytes); bound < ips {
+			ips = bound
+		}
+	}
+	if s.iPower >= 0 && s.spec.PowerUnits > 0 {
+		// First-order DVFS model: a job's power need is proportional
+		// to its core share; an under-provisioned power share clips
+		// frequency down to the floor, scaled by the phase's
+		// sensitivity to frequency.
+		need := float64(a.cores) / float64(s.spec.Cores)
+		frac := float64(a.power) / float64(s.spec.PowerUnits)
+		satisfaction := 1.0
+		if need > 0 && frac < need {
+			satisfaction = frac / need
+		}
+		scale := s.spec.MinPowerScale + (1-s.spec.MinPowerScale)*satisfaction
+		ips *= 1 - p.PowerSensitivity*(1-scale)
+	}
+	return ips
+}
+
+// ExactIPS returns the noise-free instantaneous per-job IPS the machine
+// would deliver under configuration c at the jobs' current phases,
+// without advancing time. This is the "oracle knowledge" entry point used
+// by the brute-force Oracle policies.
+func (s *Simulator) ExactIPS(c resource.Config) ([]float64, error) {
+	if err := s.space.Validate(c); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(s.jobs))
+	for j, jb := range s.jobs {
+		out[j] = s.ipsModel(jb.phase(), s.jobAlloc(c, j))
+	}
+	return out, nil
+}
+
+// ExactIsolated returns the noise-free isolated (whole-machine) IPS of
+// every job at its current phase.
+func (s *Simulator) ExactIsolated() []float64 {
+	out := make([]float64, len(s.jobs))
+	full := s.fullAlloc()
+	for j, jb := range s.jobs {
+		out[j] = s.ipsModel(jb.phase(), full)
+	}
+	return out
+}
+
+// MeasureIsolated returns a noisy measurement of each job's isolated IPS
+// at its current phase — the baseline (re)recording of Algorithm 1
+// lines 3 and 13. Like the paper's implementation it does not advance
+// co-location time.
+func (s *Simulator) MeasureIsolated() []float64 {
+	out := s.ExactIsolated()
+	for j := range out {
+		out[j] = s.noisy(out[j])
+	}
+	return out
+}
+
+func (s *Simulator) noisy(x float64) float64 {
+	if s.sigma == 0 {
+		return x
+	}
+	v := x * (1 + s.sigma*s.rng.NormFloat64())
+	if min := 0.01 * x; v < min {
+		v = min
+	}
+	return v
+}
+
+// Sample is one tick's observation, as a pqos-style monitor would report.
+type Sample struct {
+	// Tick is the index of the completed step (first step = 1).
+	Tick int
+	// Time is the simulation time at the end of the step, seconds.
+	Time float64
+	// IPS is the observed (noisy) per-job instructions/second over the
+	// step.
+	IPS []float64
+	// PhaseChanged flags jobs that crossed a phase boundary during the
+	// step.
+	PhaseChanged []bool
+}
+
+// Step advances the simulation by one 100 ms tick under the current
+// configuration and returns the monitoring sample. Work progresses at the
+// model rate, crossing phase boundaries mid-tick exactly.
+func (s *Simulator) Step() Sample {
+	dt := TickSeconds
+	sample := Sample{
+		Tick:         s.ticks + 1,
+		IPS:          make([]float64, len(s.jobs)),
+		PhaseChanged: make([]bool, len(s.jobs)),
+	}
+	for j, jb := range s.jobs {
+		a := s.jobAlloc(s.current, j)
+		remaining := dt
+		done := 0.0
+		for remaining > 1e-12 {
+			p := jb.phase()
+			ips := s.ipsModel(p, a)
+			if ips <= 0 {
+				break
+			}
+			left := p.Instructions - jb.workDone
+			if t := left / ips; t <= remaining {
+				// Phase completes mid-tick.
+				done += left
+				remaining -= t
+				jb.workDone = 0
+				jb.phaseIdx = (jb.phaseIdx + 1) % len(jb.profile.Phases)
+				sample.PhaseChanged[j] = true
+			} else {
+				adv := ips * remaining
+				jb.workDone += adv
+				done += adv
+				remaining = 0
+			}
+		}
+		sample.IPS[j] = s.noisy(done / dt)
+	}
+	s.ticks++
+	sample.Time = s.Now()
+	return sample
+}

@@ -1,0 +1,173 @@
+// Package trace provides lightweight named-column time series for
+// experiment runs, with CSV export and fixed-width table rendering for
+// the figure/table reproduction reports.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is an append-only table of float64 rows with named columns.
+type Series struct {
+	names []string
+	index map[string]int
+	rows  [][]float64
+}
+
+// NewSeries creates a series with the given column names.
+func NewSeries(names ...string) *Series {
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := idx[n]; dup {
+			panic(fmt.Sprintf("trace: duplicate column %q", n))
+		}
+		idx[n] = i
+	}
+	return &Series{names: append([]string(nil), names...), index: idx}
+}
+
+// Names returns the column names.
+func (s *Series) Names() []string { return append([]string(nil), s.names...) }
+
+// Len returns the number of rows.
+func (s *Series) Len() int { return len(s.rows) }
+
+// Add appends one row; the number of values must match the column count.
+func (s *Series) Add(values ...float64) {
+	if len(values) != len(s.names) {
+		panic(fmt.Sprintf("trace: row has %d values, series has %d columns", len(values), len(s.names)))
+	}
+	row := make([]float64, len(values))
+	copy(row, values)
+	s.rows = append(s.rows, row)
+}
+
+// Column returns a copy of the named column. It panics on unknown names.
+func (s *Series) Column(name string) []float64 {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("trace: unknown column %q", name))
+	}
+	out := make([]float64, len(s.rows))
+	for r, row := range s.rows {
+		out[r] = row[i]
+	}
+	return out
+}
+
+// At returns the value at (row, column name).
+func (s *Series) At(row int, name string) float64 {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("trace: unknown column %q", name))
+	}
+	return s.rows[row][i]
+}
+
+// WriteCSV writes the series as CSV with a header row.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(s.names, ",")); err != nil {
+		return err
+	}
+	for _, row := range s.rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders rows of labeled values as a fixed-width text table —
+// the rendering used by cmd/experiments for every reproduced figure.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: append([]string(nil), header...)}
+}
+
+// AddRow appends a row of already-formatted cells; missing cells render
+// empty, extra cells are rejected.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		panic(fmt.Sprintf("trace: row has %d cells, table has %d columns", len(cells), len(t.header)))
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table's header and rows as CSV. Cells containing
+// commas or quotes are quoted per RFC 4180.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float for table cells with 3 significant decimals.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Pct formats a ratio as a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("tick", "value")
+	if got := s.Names(); len(got) != 2 || got[0] != "tick" {
+		t.Fatalf("Names = %v", got)
+	}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	col := s.Column("value")
+	if col[0] != 10 || col[1] != 20 {
+		t.Errorf("Column = %v", col)
+	}
+	if s.At(1, "tick") != 2 {
+		t.Errorf("At = %g", s.At(1, "tick"))
+	}
+}
+
+func TestSeriesColumnIsCopy(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(1)
+	col := s.Column("x")
+	col[0] = 99
+	if s.At(0, "x") == 99 {
+		t.Error("Column aliases internal storage")
+	}
+}
+
+func TestSeriesAddCopiesRow(t *testing.T) {
+	s := NewSeries("a", "b")
+	row := []float64{1, 2}
+	s.Add(row...)
+	row[0] = 99
+	if s.At(0, "a") == 99 {
+		t.Error("Add aliased the caller's slice")
+	}
+}
+
+func TestSeriesPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"duplicate column": func() { NewSeries("a", "a") },
+		"wrong row width":  func() { NewSeries("a").Add(1, 2) },
+		"unknown column":   func() { s := NewSeries("a"); s.Add(1); s.Column("b") },
+		"unknown At":       func() { s := NewSeries("a"); s.Add(1); s.At(0, "b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := NewSeries("tick", "v")
+	s.Add(1, 0.5)
+	s.Add(2, 1.5)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "tick,v\n1,0.5\n2,1.5\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("policy", "score")
+	tbl.AddRow("satori", "0.92")
+	tbl.AddRow("random") // short rows pad
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "policy") || !strings.Contains(lines[0], "score") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "satori") || !strings.Contains(lines[2], "0.92") {
+		t.Errorf("row wrong: %q", lines[2])
+	}
+	// Columns align: every line is at least as wide as the widest cell.
+	if len(lines[2]) < len(lines[0]) {
+		t.Error("rows narrower than header")
+	}
+}
+
+func TestTableRejectsWideRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("over-wide row did not panic")
+		}
+	}()
+	NewTable("a").AddRow("1", "2")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.123456) != "0.123" {
+		t.Errorf("F = %s", F(0.123456))
+	}
+	if Pct(0.925) != "92.5%" {
+		t.Errorf("Pct = %s", Pct(0.925))
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := NewTable("policy", "note")
+	tbl.AddRow("satori", "plain")
+	tbl.AddRow("a,b", `say "hi"`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "policy,note\nsatori,plain\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	orig := PARSEC()
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost profiles: %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Name != orig[i].Name || got[i].Suite != orig[i].Suite {
+			t.Errorf("profile %d identity changed: %s/%s", i, got[i].Suite, got[i].Name)
+		}
+		if len(got[i].Phases) != len(orig[i].Phases) {
+			t.Fatalf("profile %d phase count changed", i)
+		}
+		for k := range orig[i].Phases {
+			if got[i].Phases[k] != orig[i].Phases[k] {
+				t.Errorf("profile %d phase %d changed: %+v vs %+v",
+					i, k, got[i].Phases[k], orig[i].Phases[k])
+			}
+		}
+	}
+}
+
+func TestReadProfilesValidates(t *testing.T) {
+	cases := map[string]string{
+		"empty list":    `[]`,
+		"not json":      `{{{`,
+		"unknown field": `[{"name":"x","bogus":1,"phases":[]}]`,
+		"invalid phase": `[{"name":"x","phases":[{"name":"p","instructions":-1,"ips_peak":1,"serial_frac":0,"mpi_max":0,"mpi_min":0,"ways_half":1,"mem_stall_cost":0}]}]`,
+		"no phases":     `[{"name":"x","phases":[]}]`,
+	}
+	for name, body := range cases {
+		if _, err := ReadProfiles(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadProfilesDefaultsSuite(t *testing.T) {
+	body := `[{"name":"mine","phases":[{"name":"p","instructions":1e9,"ips_peak":1e10,
+		"serial_frac":0.1,"mpi_max":0.01,"mpi_min":0.001,"ways_half":2,"mem_stall_cost":100}]}]`
+	ps, err := ReadProfiles(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Suite != "custom" {
+		t.Errorf("default suite = %q", ps[0].Suite)
+	}
+}

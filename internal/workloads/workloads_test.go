@@ -1,0 +1,293 @@
+package workloads
+
+import (
+	"testing"
+
+	"satori/internal/resource"
+	"satori/internal/sim"
+)
+
+func TestSuiteSizes(t *testing.T) {
+	if got := len(PARSEC()); got != 7 {
+		t.Errorf("PARSEC has %d profiles, want 7 (Table I + vips)", got)
+	}
+	if got := len(CloudSuite()); got != 5 {
+		t.Errorf("CloudSuite has %d profiles, want 5", got)
+	}
+	if got := len(ECP()); got != 5 {
+		t.Errorf("ECP has %d profiles, want 5", got)
+	}
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	for suite, ps := range Suites() {
+		for _, p := range ps {
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", suite, p.Name, err)
+			}
+			if p.Suite != suite {
+				t.Errorf("%s claims suite %q, registered under %q", p.Name, p.Suite, suite)
+			}
+		}
+	}
+}
+
+func TestNoDuplicateNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range Names() {
+		if seen[name] {
+			t.Errorf("duplicate benchmark name %q", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) != 17 {
+		t.Errorf("total benchmarks = %d, want 17", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("fluidanimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "fluidanimate" || p.Suite != SuitePARSEC {
+		t.Errorf("ByName returned %s/%s", p.Suite, p.Name)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPaperMixCounts(t *testing.T) {
+	cases := []struct {
+		suite string
+		want  int
+		jobs  int
+	}{
+		{SuitePARSEC, 21, 5},     // C(7,5)
+		{SuiteCloudSuite, 10, 3}, // C(5,3)
+		{SuiteECP, 10, 2},        // C(5,2)
+	}
+	for _, c := range cases {
+		mixes, err := PaperMixes(c.suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mixes) != c.want {
+			t.Errorf("%s: %d mixes, want %d", c.suite, len(mixes), c.want)
+		}
+		for _, m := range mixes {
+			if len(m.Profiles) != c.jobs {
+				t.Errorf("%s mix %d has %d jobs, want %d", c.suite, m.Index, len(m.Profiles), c.jobs)
+			}
+		}
+	}
+	if _, err := PaperMixes("nope"); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}
+
+func TestMixesAreDistinctAndOrdered(t *testing.T) {
+	mixes, err := Mixes(PARSEC(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i, m := range mixes {
+		if m.Index != i {
+			t.Errorf("mix %d has Index %d", i, m.Index)
+		}
+		key := ""
+		for _, n := range m.Names() {
+			key += n + "|"
+		}
+		if seen[key] {
+			t.Errorf("duplicate mix %v", m.Names())
+		}
+		seen[key] = true
+	}
+	// First mix is the lexicographically first combination.
+	first := mixes[0].Names()
+	want := []string{"blackscholes", "canneal", "fluidanimate", "freqmine", "streamcluster"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Errorf("first mix = %v, want %v", first, want)
+			break
+		}
+	}
+}
+
+func TestMixesValidation(t *testing.T) {
+	if _, err := Mixes(PARSEC(), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Mixes(PARSEC(), 8); err == nil {
+		t.Error("k>n accepted")
+	}
+	single, err := Mixes(PARSEC(), 7)
+	if err != nil || len(single) != 1 {
+		t.Errorf("k=n should give exactly 1 mix, got %d (%v)", len(single), err)
+	}
+}
+
+func TestProfilesRunOnDefaultMachine(t *testing.T) {
+	// Every paper mix must simulate cleanly with sensible speedups.
+	for _, suite := range []string{SuitePARSEC, SuiteCloudSuite, SuiteECP} {
+		mixes, err := PaperMixes(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mixes[0]
+		s, err := sim.New(sim.DefaultMachine(), m.Profiles, sim.Options{Seed: 1, NoiseSigma: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", suite, err)
+		}
+		iso := s.ExactIsolated()
+		ips, err := s.ExactIPS(s.Space().EqualSplit())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ips {
+			sp := ips[j] / iso[j]
+			if sp <= 0.05 || sp > 1 {
+				t.Errorf("%s mix0 job %s: equal-split speedup %g out of plausible range",
+					suite, s.JobName(j), sp)
+			}
+		}
+	}
+}
+
+func TestProfilesAreDifferentiated(t *testing.T) {
+	// The fleet must not be homogeneous: under a cache-starved vs
+	// cache-rich allocation, relative gains should differ meaningfully
+	// across PARSEC benchmarks (this is what creates donor/receiver
+	// structure for the policies to exploit).
+	machine := sim.DefaultMachine()
+	gains := map[string]float64{}
+	for _, p := range PARSEC() {
+		s, err := sim.New(machine, []*sim.Profile{p, p}, sim.Options{NoiseSigma: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := s.Space()
+		starved := space.NewConfig()
+		rich := space.NewConfig()
+		for r, res := range space.Resources {
+			starved.Alloc[r][0] = 1
+			starved.Alloc[r][1] = res.Units - 1
+			rich.Alloc[r][0] = res.Units - 1
+			rich.Alloc[r][1] = 1
+		}
+		ipsS, err := s.ExactIPS(starved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipsR, err := s.ExactIPS(rich)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gains[p.Name] = ipsR[0] / ipsS[0]
+	}
+	min, max := 1e18, 0.0
+	for _, g := range gains {
+		if g < min {
+			min = g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	if max/min < 1.3 {
+		t.Errorf("benchmarks too homogeneous: gain spread %v", gains)
+	}
+}
+
+func TestFluidanimateIsCoreSensitive(t *testing.T) {
+	// Sec. V attributes mix 0's low gain to fluidanimate's core
+	// sensitivity; verify it gains more from cores than canneal does.
+	coreGain := func(name string) float64 {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(sim.DefaultMachine(), []*sim.Profile{p, p}, sim.Options{NoiseSigma: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := s.Space()
+		few := space.EqualSplit()
+		many := few.Clone()
+		ci := 0 // cores are the first resource
+		few.Alloc[ci][0], few.Alloc[ci][1] = 2, 8
+		many.Alloc[ci][0], many.Alloc[ci][1] = 8, 2
+		ipsFew, err := s.ExactIPS(few)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipsMany, err := s.ExactIPS(many)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ipsMany[0] / ipsFew[0]
+	}
+	if coreGain("fluidanimate") <= coreGain("canneal") {
+		t.Error("fluidanimate should be more core-sensitive than canneal")
+	}
+}
+
+func TestAMGAndHypreAreSimilar(t *testing.T) {
+	// Paper: AMG and Hypre "have similar resource requirements for all
+	// resources". Their isolated IPS should be within 25% and their
+	// sensitivities should order the same way.
+	a, _ := ByName("amg")
+	h, _ := ByName("hypre")
+	s, err := sim.New(sim.DefaultMachine(), []*sim.Profile{a, h}, sim.Options{NoiseSigma: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := s.ExactIsolated()
+	ratio := iso[0] / iso[1]
+	if ratio < 0.75 || ratio > 1.33 {
+		t.Errorf("amg/hypre isolated ratio %g, want within 25%%", ratio)
+	}
+}
+
+func TestReturnedProfilesAreFreshCopies(t *testing.T) {
+	a := PARSEC()
+	b := PARSEC()
+	a[0].Phases[0].IPSPeak = 1
+	if b[0].Phases[0].IPSPeak == 1 {
+		t.Error("PARSEC() returns shared profile storage")
+	}
+}
+
+func TestMixProfilesIndependentAcrossMixes(t *testing.T) {
+	mixes, err := PaperMixes(SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixes share the same 7 underlying profiles within one call — but
+	// a job mix handed to a simulator must still be valid.
+	for _, m := range mixes[:3] {
+		if _, err := sim.New(sim.DefaultMachine(), m.Profiles, sim.Options{}); err != nil {
+			t.Errorf("mix %d rejected: %v", m.Index, err)
+		}
+	}
+}
+
+func TestSpaceShapeForPaperMixes(t *testing.T) {
+	mixes, _ := PaperMixes(SuitePARSEC)
+	s, err := sim.New(sim.DefaultMachine(), mixes[0].Profiles, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := s.Space()
+	if space.Jobs != 5 || len(space.Resources) != 3 {
+		t.Errorf("space shape %d jobs x %d resources, want 5x3", space.Jobs, len(space.Resources))
+	}
+	// The 15-dimensional configuration of Fig. 15.
+	if space.Dim() != 15 {
+		t.Errorf("Dim = %d, want 15", space.Dim())
+	}
+	var _ resource.Config = space.EqualSplit()
+}

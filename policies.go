@@ -1,0 +1,116 @@
+package satori
+
+import (
+	"satori/internal/core"
+	"satori/internal/policies/copart"
+	"satori/internal/policies/dcat"
+	"satori/internal/policies/oracle"
+	"satori/internal/policies/parties"
+	"satori/internal/policy"
+	"satori/internal/rdt"
+)
+
+// EngineOptions re-exports the SATORI engine configuration.
+type EngineOptions = core.Options
+
+// SchedulerOptions re-exports the goal-weight scheduler configuration.
+type SchedulerOptions = core.SchedulerOptions
+
+// Weight modes (Sec. III-C).
+const (
+	WeightsDynamic       = core.WeightsDynamic
+	WeightsStatic        = core.WeightsStatic
+	WeightsFavorStronger = core.WeightsFavorStronger
+)
+
+// Engine is the SATORI BO engine (policy implementation).
+type Engine = core.Engine
+
+// NewSatoriPolicy builds full SATORI with dynamic goal prioritization.
+// Pass the result as SessionConfig.Policy.
+func NewSatoriPolicy(opt EngineOptions) func(Platform) (Policy, error) {
+	return func(p Platform) (Policy, error) {
+		return core.New(p.Space(), opt)
+	}
+}
+
+// NewStaticSatoriPolicy builds SATORI with fixed weights: wT = 1 is
+// Throughput SATORI, wT = 0 is Fairness SATORI, wT = 0.5 is the
+// no-dynamic-prioritization variant.
+func NewStaticSatoriPolicy(wT float64) func(Platform) (Policy, error) {
+	return NewSatoriPolicy(EngineOptions{
+		Scheduler:   SchedulerOptions{Mode: WeightsStatic},
+		StaticWT:    wT,
+		StaticWTSet: true,
+	})
+}
+
+// NewRandomPolicy builds the Random Search baseline.
+func NewRandomPolicy(seed uint64) func(Platform) (Policy, error) {
+	return func(p Platform) (Policy, error) {
+		return policy.NewRandom(p.Space(), seed), nil
+	}
+}
+
+// NewStaticPolicy builds the hold-current-partition (unmanaged) baseline.
+func NewStaticPolicy() func(Platform) (Policy, error) {
+	return func(Platform) (Policy, error) { return policy.Static{}, nil }
+}
+
+// NewDCATPolicy builds the dCAT baseline (throughput-oriented dynamic LLC
+// way partitioning).
+func NewDCATPolicy() func(Platform) (Policy, error) {
+	return func(p Platform) (Policy, error) {
+		return dcat.New(p.Space(), dcat.Options{})
+	}
+}
+
+// NewCoPartPolicy builds the CoPart baseline (fairness-oriented dual-FSM
+// partitioning of LLC ways and memory bandwidth).
+func NewCoPartPolicy() func(Platform) (Policy, error) {
+	return func(p Platform) (Policy, error) {
+		return copart.New(p.Space(), copart.Options{})
+	}
+}
+
+// NewPARTIESPolicy builds the adapted-PARTIES baseline (gradient-descent,
+// one resource dimension at a time, balanced objective).
+func NewPARTIESPolicy() func(Platform) (Policy, error) {
+	return func(p Platform) (Policy, error) {
+		return parties.New(p.Space(), parties.Options{}), nil
+	}
+}
+
+// OracleGoal selects a brute-force oracle variant.
+type OracleGoal = oracle.Goal
+
+// Oracle goals.
+const (
+	BalancedOracle   = oracle.Balanced
+	ThroughputOracle = oracle.Throughput
+	FairnessOracle   = oracle.Fairness
+)
+
+// NewOraclePolicy builds a brute-force oracle. It requires a simulated
+// platform (oracles read the noise-free model — they are offline,
+// practically-infeasible references).
+func NewOraclePolicy(goal OracleGoal) func(Platform) (Policy, error) {
+	return func(p Platform) (Policy, error) {
+		sp, ok := p.(*rdt.SimPlatform)
+		if !ok {
+			return nil, errNotSimulated
+		}
+		return oracle.New(goal, sp.Simulator(), oracle.Options{
+			ThroughputMetric: SumIPS,
+			FairnessMetric:   JainIndex,
+		}), nil
+	}
+}
+
+type notSimulatedError struct{}
+
+func (notSimulatedError) Error() string {
+	return "satori: oracle policies need a simulated platform (noise-free model access)"
+}
+
+var errNotSimulated = notSimulatedError{}

@@ -1,0 +1,293 @@
+package satori
+
+import (
+	"fmt"
+
+	"satori/internal/core"
+	"satori/internal/metrics"
+	"satori/internal/policy"
+	"satori/internal/rdt"
+	"satori/internal/resource"
+	"satori/internal/sim"
+	"satori/internal/stats"
+)
+
+// Re-exported model types. These aliases are the public names of the
+// engine's data model; the internal packages are implementation detail.
+type (
+	// MachineSpec describes the partitionable hardware.
+	MachineSpec = sim.MachineSpec
+	// Workload is a benchmark profile: a looping schedule of phases.
+	Workload = sim.Profile
+	// Phase is one program phase with its resource sensitivities.
+	Phase = sim.Phase
+	// Config is a resource partitioning configuration.
+	Config = resource.Config
+	// Space is a configuration search space.
+	Space = resource.Space
+	// ResourceKind identifies one partitionable resource.
+	ResourceKind = resource.Kind
+	// Policy is a partitioning strategy (SATORI or a baseline).
+	Policy = policy.Policy
+	// Observation is the per-interval input every policy sees.
+	Observation = policy.Observation
+	// Platform is the control+monitoring surface policies run against.
+	Platform = rdt.Platform
+	// Weights is SATORI's per-tick goal-weight decomposition.
+	Weights = core.Weights
+)
+
+// Resource kinds.
+const (
+	Cores   = resource.Cores
+	LLCWays = resource.LLCWays
+	MemBW   = resource.MemBW
+	Power   = resource.Power
+)
+
+// DefaultMachine mirrors the paper's testbed: 10 cores, 11 LLC ways,
+// 10 memory-bandwidth steps.
+func DefaultMachine() MachineSpec { return sim.DefaultMachine() }
+
+// TickSeconds is the monitoring/decision interval (100 ms, 10 Hz).
+const TickSeconds = sim.TickSeconds
+
+// SessionConfig describes a co-location session.
+type SessionConfig struct {
+	// Machine defaults to DefaultMachine().
+	Machine *MachineSpec
+	// Workloads are the co-located jobs (required).
+	Workloads []*Workload
+	// Policy defaults to full SATORI; use the New*Policy constructors
+	// to select a baseline. The function receives the session platform
+	// so policies needing simulator access (oracles) can be built.
+	Policy func(Platform) (Policy, error)
+	// Seed makes the session reproducible (default 1).
+	Seed uint64
+	// NoiseSigma is the relative IPS measurement noise (default ~2%;
+	// negative disables noise).
+	NoiseSigma float64
+	// ThroughputMetric defaults to the paper's sum-of-IPS; see
+	// package satori's metric constants.
+	ThroughputMetric metrics.ThroughputMetric
+	// FairnessMetric defaults to Jain's index.
+	FairnessMetric metrics.FairnessMetric
+	// BaselineResetTicks is the isolated-baseline refresh period
+	// (default 100 ticks = 10 s, the equalization period).
+	BaselineResetTicks int
+}
+
+// Objective metric choices, re-exported.
+const (
+	GeoMeanSpeedup      = metrics.GeoMeanSpeedup
+	HarmonicMeanSpeedup = metrics.HarmonicMeanSpeedup
+	SumIPS              = metrics.SumIPS
+	JainIndex           = metrics.JainIndex
+	OneMinusCoV         = metrics.OneMinusCoV
+)
+
+// Status is one interval's outcome.
+type Status struct {
+	// Tick counts completed 100 ms intervals.
+	Tick int
+	// Time is elapsed seconds.
+	Time float64
+	// IPS is the observed per-job instructions/second.
+	IPS []float64
+	// Speedups is IPS over the isolated baselines.
+	Speedups []float64
+	// Throughput is the normalized system-throughput score in [0, 1].
+	Throughput float64
+	// Fairness is the normalized fairness score in [0, 1].
+	Fairness float64
+	// Config is the partition that will run during the next interval.
+	Config Config
+	// BaselineReset reports whether isolated baselines were just
+	// re-measured.
+	BaselineReset bool
+}
+
+// Session drives one co-location under a policy, one 100 ms interval at a
+// time — the library embodiment of Algorithm 1's outer loop.
+type Session struct {
+	platform   *rdt.SimPlatform
+	pol        Policy
+	tm         metrics.ThroughputMetric
+	fm         metrics.FairnessMetric
+	isolated   []float64
+	current    Config
+	tick       int
+	resetEvery int
+	pendReset  bool
+
+	accT, accF, accObj stats.Welford
+}
+
+// NewSession builds a session on the simulated platform.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("satori: SessionConfig.Workloads is required")
+	}
+	machine := sim.DefaultMachine()
+	if cfg.Machine != nil {
+		machine = *cfg.Machine
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	simulator, err := sim.New(machine, cfg.Workloads, sim.Options{Seed: seed, NoiseSigma: cfg.NoiseSigma})
+	if err != nil {
+		return nil, err
+	}
+	platform, err := rdt.NewSimPlatform(simulator)
+	if err != nil {
+		return nil, err
+	}
+	var pol Policy
+	if cfg.Policy != nil {
+		pol, err = cfg.Policy(platform)
+	} else {
+		pol, err = core.New(platform.Space(), core.Options{Seed: seed})
+	}
+	if err != nil {
+		return nil, err
+	}
+	iso, err := platform.MeasureIsolated()
+	if err != nil {
+		return nil, err
+	}
+	resetEvery := cfg.BaselineResetTicks
+	if resetEvery <= 0 {
+		resetEvery = 100
+	}
+	tm := cfg.ThroughputMetric
+	fm := cfg.FairnessMetric
+	if tm == 0 && fm == 0 {
+		// Zero-value config: the paper's defaults (sum-of-IPS +
+		// Jain). Callers choosing GeoMeanSpeedup explicitly also set
+		// the fairness metric, distinguishing the two cases.
+		tm = metrics.SumIPS
+		fm = metrics.JainIndex
+	}
+	return &Session{
+		platform:   platform,
+		pol:        pol,
+		tm:         tm,
+		fm:         fm,
+		isolated:   iso,
+		current:    platform.Current(),
+		resetEvery: resetEvery,
+		pendReset:  true,
+	}, nil
+}
+
+// Policy returns the active policy (e.g. to inspect SATORI's weights via
+// a type assertion to *Engine).
+func (s *Session) Policy() Policy { return s.pol }
+
+// SpaceInfo returns the session's configuration space.
+func (s *Session) SpaceInfo() *Space { return s.platform.Space() }
+
+// JobNames labels the co-located jobs.
+func (s *Session) JobNames() []string { return s.platform.JobNames() }
+
+// Step advances one 100 ms interval: sample IPS, score both goals, let
+// the policy decide, and apply the next partition.
+func (s *Session) Step() (Status, error) {
+	ips, err := s.platform.Sample()
+	if err != nil {
+		return Status{}, err
+	}
+	s.tick++
+	speedups := metrics.Speedups(ips, s.isolated)
+	t := metrics.NormalizedThroughput(s.tm, ips, s.isolated)
+	f := metrics.NormalizedFairness(s.fm, ips, s.isolated)
+	s.accT.Add(t)
+	s.accF.Add(f)
+	s.accObj.Add(0.5*t + 0.5*f)
+
+	obs := Observation{
+		Tick: s.tick, Time: float64(s.tick) * TickSeconds,
+		IPS: ips, Isolated: s.isolated, Speedups: speedups,
+		Throughput: t, Fairness: f,
+		BaselineReset: s.pendReset,
+	}
+	wasReset := s.pendReset
+	s.pendReset = false
+	next := s.pol.Decide(obs, s.current)
+	if err := s.platform.Apply(next); err == nil {
+		s.current = s.platform.Current()
+	}
+	if s.tick%s.resetEvery == 0 {
+		if iso, err := s.platform.MeasureIsolated(); err == nil {
+			s.isolated = iso
+			s.pendReset = true
+		}
+	}
+	return Status{
+		Tick: s.tick, Time: float64(s.tick) * TickSeconds,
+		IPS: ips, Speedups: speedups,
+		Throughput: t, Fairness: f,
+		Config:        s.current,
+		BaselineReset: wasReset,
+	}, nil
+}
+
+// ReplaceWorkload swaps the workload running in slot j for a new one —
+// a job departure plus a new arrival (Algorithm 1 line 12). Isolated
+// baselines are re-measured immediately and the policy sees a
+// BaselineReset on its next observation; SATORI requires no other
+// re-initialization (Sec. III-C).
+func (s *Session) ReplaceWorkload(j int, w *Workload) error {
+	if err := s.platform.Simulator().ReplaceJob(j, w); err != nil {
+		return err
+	}
+	iso, err := s.platform.MeasureIsolated()
+	if err != nil {
+		return err
+	}
+	s.isolated = iso
+	s.pendReset = true
+	return nil
+}
+
+// Run advances n intervals and returns the last status.
+func (s *Session) Run(n int) (Status, error) {
+	var last Status
+	var err error
+	for i := 0; i < n; i++ {
+		last, err = s.Step()
+		if err != nil {
+			return last, err
+		}
+	}
+	return last, nil
+}
+
+// Summary aggregates the session so far.
+type Summary struct {
+	// Ticks is the number of completed intervals.
+	Ticks int
+	// MeanThroughput and MeanFairness are run averages of the
+	// normalized scores.
+	MeanThroughput, MeanFairness float64
+	// MeanObjective is the run average of 0.5·T + 0.5·F.
+	MeanObjective float64
+}
+
+// Summary returns the running aggregate.
+func (s *Session) Summary() Summary {
+	return Summary{
+		Ticks:          s.tick,
+		MeanThroughput: s.accT.Mean(),
+		MeanFairness:   s.accF.Mean(),
+		MeanObjective:  s.accObj.Mean(),
+	}
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("ticks=%d throughput=%.3f fairness=%.3f objective=%.3f",
+		s.Ticks, s.MeanThroughput, s.MeanFairness, s.MeanObjective)
+}
