@@ -65,6 +65,40 @@ func BenchmarkAblationWindow(b *testing.B)    { benchExperiment(b, "ablation-win
 func BenchmarkAblationBounds(b *testing.B)    { benchExperiment(b, "ablation-bounds", smoke) }
 func BenchmarkSpaceSize(b *testing.B)         { benchExperiment(b, "space", smoke) }
 
+// benchSuite runs the Fig. 7-style suite (4 mixes × 2 policies + oracle
+// references) under the given worker count; the serial/parallel pair
+// quantifies the harness fan-out's wall-clock win.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	mixes, err := workloads.PaperMixes(workloads.SuitePARSEC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := harness.SuiteSpec{
+		Mixes: mixes[:4],
+		Policies: []harness.NamedFactory{
+			{Name: "satori", Factory: harness.SatoriFactory(core.Options{})},
+			{Name: "random", Factory: harness.RandomFactory()},
+		},
+		Base:    harness.DefaultSuiteBase(9, 60),
+		Workers: workers,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunSuite(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSerial vs BenchmarkSuiteParallel4 measure the identical
+// workload with 1 and 4 workers (expected: >1.5x faster at 4 workers on
+// a 4+-core machine, with byte-identical results — see
+// TestRunSuiteParallelMatchesSerial).
+func BenchmarkSuiteSerial(b *testing.B)    { benchSuite(b, 1) }
+func BenchmarkSuiteParallel4(b *testing.B) { benchSuite(b, 4) }
+
 // BenchmarkEngineOverhead measures one full SATORI BO iteration — the
 // quantity the paper reports as 1.2 ms within the 100 ms interval
 // (Sec. V overhead analysis; the "overhead" experiment prints the same

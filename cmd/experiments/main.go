@@ -8,6 +8,11 @@
 //	experiments -run fig7,fig8         # several
 //	experiments -all                   # everything (minutes of runtime)
 //	experiments -ticks 300 -mixes 5    # reduced scale for quick looks
+//	experiments -parallel 4 -run fig7  # bound the worker pool (0 = all CPUs)
+//
+// The SATORI_PARALLEL environment variable sets the default worker
+// count; -parallel overrides it. Any worker count produces the same
+// output byte for byte — parallelism only changes wall-clock time.
 package main
 
 import (
@@ -29,6 +34,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "base random seed")
 	mixes := flag.Int("mixes", 0, "cap the number of job mixes per suite (0 = paper scale)")
 	csvDir := flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
+	parallel := flag.Int("parallel", harness.WorkersFromEnv(),
+		"worker pool size for independent runs (0 = one per CPU, 1 = serial; default from SATORI_PARALLEL)")
 	flag.Parse()
 
 	if *list {
@@ -60,7 +67,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	opt := harness.ExpOptions{Ticks: *ticks, Seed: *seed, MixLimit: *mixes}
+	opt := harness.ExpOptions{Ticks: *ticks, Seed: *seed, MixLimit: *mixes, Workers: *parallel}
 	for _, e := range selected {
 		start := time.Now()
 		rep, err := e.Run(opt)

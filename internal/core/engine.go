@@ -96,9 +96,10 @@ type Engine struct {
 	sched *Scheduler
 	recs  *Records
 
-	initQueue  []resource.Config
-	managedRow []bool
-	equalSplit resource.Config
+	initQueue   []resource.Config
+	managedRow  []bool
+	managedRows []int // indices of managed rows, for uniform sampling
+	equalSplit  resource.Config
 
 	prevPreds    map[string]float64
 	proxyChange  float64
@@ -155,6 +156,11 @@ func New(space *resource.Space, opt Options) (*Engine, error) {
 		}
 		if !any {
 			return nil, fmt.Errorf("core: none of the managed kinds %v exist in the space", opt.Managed)
+		}
+	}
+	for r, managed := range e.managedRow {
+		if managed {
+			e.managedRows = append(e.managedRows, r)
 		}
 	}
 	if opt.RandomInit {
@@ -228,13 +234,17 @@ func (e *Engine) restrictToManaged(c resource.Config) resource.Config {
 }
 
 // randomWalk applies up to steps random one-unit moves in managed rows.
+// Rows are sampled from the managed set only: drawing over all rows and
+// skipping unmanaged ones would consume steps without moving, so walks
+// under the Sec. V source-of-benefit ablations (Managed restricted to a
+// subset) would be systematically shorter than full SATORI's.
 func (e *Engine) randomWalk(c resource.Config, steps int) resource.Config {
+	if len(e.managedRows) == 0 {
+		return c
+	}
 	cur := c
 	for s := 0; s < steps; s++ {
-		r := e.rng.Intn(len(e.space.Resources))
-		if !e.managedRow[r] {
-			continue
-		}
+		r := e.managedRows[e.rng.Intn(len(e.managedRows))]
 		from := e.rng.Intn(e.space.Jobs)
 		to := e.rng.Intn(e.space.Jobs)
 		if next, ok := e.space.Move(cur, r, from, to); ok {

@@ -18,6 +18,11 @@ type ExpOptions struct {
 	// MixLimit caps how many job mixes a suite experiment runs
 	// (0 = all mixes the paper uses).
 	MixLimit int
+	// Workers bounds each experiment's fan-out over its independent
+	// run units (0 = one worker per CPU, 1 = serial). Any worker count
+	// produces byte-identical reports; cmd/experiments exposes this as
+	// -parallel and the SATORI_PARALLEL environment knob.
+	Workers int
 }
 
 func (o ExpOptions) fill() ExpOptions {

@@ -26,7 +26,12 @@ func RunScalability(opt ExpOptions) (*Report, error) {
 	if opt.MixLimit > 0 && opt.MixLimit < 3 {
 		maxDegree = 5 // smoke-test scale
 	}
+	var degrees []int
 	for degree := 3; degree <= maxDegree; degree++ {
+		degrees = append(degrees, degree)
+	}
+	chosenPerDegree := make([][]workloads.Mix, len(degrees))
+	for i, degree := range degrees {
 		mixes, err := workloads.Mixes(profiles, degree)
 		if err != nil {
 			return nil, err
@@ -39,21 +44,36 @@ func RunScalability(opt ExpOptions) (*Report, error) {
 		}
 		stride := len(mixes) / limit
 		var chosen []workloads.Mix
-		for i := 0; i < limit; i++ {
-			chosen = append(chosen, mixes[i*stride])
+		for k := 0; k < limit; k++ {
+			chosen = append(chosen, mixes[k*stride])
 		}
+		chosenPerDegree[i] = chosen
+	}
+	// Each degree's suite is independent; fan the sweep out and render
+	// the rows in degree order afterwards.
+	means := make([]map[string]Mean, len(degrees))
+	outer, inner := splitWorkers(opt.Workers, len(degrees))
+	err := forEach(outer, len(degrees), func(i int) error {
 		suite, err := RunSuite(SuiteSpec{
-			Mixes: chosen,
+			Mixes: chosenPerDegree[i],
 			Policies: []NamedFactory{
 				{Name: "satori", Factory: SatoriFactory(core.Options{})},
 				{Name: "parties", Factory: PARTIESFactory()},
 			},
-			Base: DefaultSuiteBase(opt.Seed, opt.Ticks),
+			Base:    DefaultSuiteBase(opt.Seed, opt.Ticks),
+			Workers: inner,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m := suite.Means()
+		means[i] = suite.Means()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, degree := range degrees {
+		m := means[i]
 		dT := (m["satori"].PctThroughput - m["parties"].PctThroughput) * 100
 		dF := (m["satori"].PctFairness - m["parties"].PctFairness) * 100
 		gaps = append(gaps, (dT+dF)/2)
@@ -107,7 +127,8 @@ func RunAblationResources(opt ExpOptions) (*Report, error) {
 				Managed: []resource.Kind{resource.LLCWays, resource.MemBW}, Name: "satori-llc+bw"})},
 			{Name: "satori", Factory: SatoriFactory(core.Options{})},
 		},
-		Base: DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Base:    DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -144,7 +165,8 @@ func RunCLITE(opt ExpOptions) (*Report, error) {
 			{Name: "clite", Factory: CLITEFactory()},
 			{Name: "satori", Factory: SatoriFactory(core.Options{})},
 		},
-		Base: DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Base:    DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -172,7 +194,8 @@ func RunAblationInit(opt ExpOptions) (*Report, error) {
 			{Name: "good-init", Factory: SatoriFactory(core.Options{Name: "good-init"})},
 			{Name: "random-init", Factory: SatoriFactory(core.Options{RandomInit: true, Name: "random-init"})},
 		},
-		Base: DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Base:    DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -204,7 +227,7 @@ func RunAblationWindow(opt ExpOptions) (*Report, error) {
 			Factory: SatoriFactory(core.Options{Window: w, Name: fmt.Sprintf("window-%d", w)}),
 		})
 	}
-	suite, err := RunSuite(SuiteSpec{Mixes: mixes, Policies: policies, Base: DefaultSuiteBase(opt.Seed, opt.Ticks)})
+	suite, err := RunSuite(SuiteSpec{Mixes: mixes, Policies: policies, Base: DefaultSuiteBase(opt.Seed, opt.Ticks), Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +256,8 @@ func RunAblationBounds(opt ExpOptions) (*Report, error) {
 					WeightFloor: 0.01, WeightCeil: 0.99,
 				}})},
 		},
-		Base: DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Base:    DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -255,23 +279,33 @@ func RunAblationNoise(opt ExpOptions) (*Report, error) {
 	}
 	mixes = mixes[:opt.limitMixes(3)]
 	tbl := trace.NewTable("noise sigma", "throughput %oracle", "fairness %oracle")
-	for _, sigma := range []float64{-1, 0.01, 0.02, 0.05, 0.10} {
+	sigmas := []float64{-1, 0.01, 0.02, 0.05, 0.10}
+	rows := make([]Mean, len(sigmas))
+	outer, inner := splitWorkers(opt.Workers, len(sigmas))
+	err = forEach(outer, len(sigmas), func(i int) error {
 		base := DefaultSuiteBase(opt.Seed, opt.Ticks)
-		base.NoiseSigma = sigma
+		base.NoiseSigma = sigmas[i]
 		suite, err := RunSuite(SuiteSpec{
 			Mixes:    mixes,
 			Policies: []NamedFactory{{Name: "satori", Factory: SatoriFactory(core.Options{})}},
 			Base:     base,
+			Workers:  inner,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m := suite.Means()["satori"]
+		rows[i] = suite.Means()["satori"]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sigma := range sigmas {
 		label := fmt.Sprintf("%.0f%%", sigma*100)
 		if sigma < 0 {
 			label = "noise-free"
 		}
-		tbl.AddRow(label, trace.Pct(m.PctThroughput), trace.Pct(m.PctFairness))
+		tbl.AddRow(label, trace.Pct(rows[i].PctThroughput), trace.Pct(rows[i].PctFairness))
 	}
 	rep := &Report{ID: "ablation-noise", Title: "SATORI vs IPS measurement-noise level"}
 	rep.Tables = append(rep.Tables, tbl)
@@ -301,7 +335,7 @@ func RunAblationAcquisition(opt ExpOptions) (*Report, error) {
 			Factory: SatoriFactory(core.Options{Acquisition: acq, Name: acq}),
 		})
 	}
-	suite, err := RunSuite(SuiteSpec{Mixes: mixes, Policies: policies, Base: DefaultSuiteBase(opt.Seed, opt.Ticks)})
+	suite, err := RunSuite(SuiteSpec{Mixes: mixes, Policies: policies, Base: DefaultSuiteBase(opt.Seed, opt.Ticks), Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -333,8 +367,10 @@ func RunAblationMachine(opt ExpOptions) (*Report, error) {
 		{"16c/20w/16bw (large)", sim.MachineSpec{Cores: 16, LLCWays: 20, MemBWUnits: 16, MemBWBytesPerUnit: 8e9, LineBytes: 64}},
 	}
 	tbl := trace.NewTable("machine", "satori T", "parties T", "satori F", "parties F")
-	for _, shape := range shapes {
-		machine := shape.machine
+	means := make([]map[string]Mean, len(shapes))
+	outer, inner := splitWorkers(opt.Workers, len(shapes))
+	err = forEach(outer, len(shapes), func(i int) error {
+		machine := shapes[i].machine
 		base := DefaultSuiteBase(opt.Seed, opt.Ticks)
 		base.Machine = &machine
 		suite, err := RunSuite(SuiteSpec{
@@ -343,12 +379,20 @@ func RunAblationMachine(opt ExpOptions) (*Report, error) {
 				{Name: "satori", Factory: SatoriFactory(core.Options{})},
 				{Name: "parties", Factory: PARTIESFactory()},
 			},
-			Base: base,
+			Base:    base,
+			Workers: inner,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m := suite.Means()
+		means[i] = suite.Means()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, shape := range shapes {
+		m := means[i]
 		tbl.AddRow(shape.name,
 			trace.Pct(m["satori"].PctThroughput), trace.Pct(m["parties"].PctThroughput),
 			trace.Pct(m["satori"].PctFairness), trace.Pct(m["parties"].PctFairness))

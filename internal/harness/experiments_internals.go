@@ -73,7 +73,8 @@ func RunFig14(opt ExpOptions) (*Report, error) {
 			{Name: "satori", Factory: SatoriFactory(core.Options{})},
 			{Name: "satori-static", Factory: SatoriStaticFactory(0.5)},
 		},
-		Base: DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Base:    DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -124,18 +125,31 @@ func RunFig15(opt ExpOptions) (*Report, error) {
 	dists := map[string]float64{}
 	medians := map[string]float64{}
 	traces := map[string]*trace.Series{}
-	for _, nf := range policies {
+	// Every (policy, mix) run is independent; fan the grid out and fold
+	// the Welford accumulators in mix order afterwards.
+	results := make([]*Result, len(policies)*nMixes)
+	err = forEach(opt.Workers, len(results), func(u int) error {
+		nf := policies[u/nMixes]
+		m := u % nMixes
+		spec := DefaultSuiteBase(opt.Seed^uint64(m)*0x51D, opt.Ticks)
+		spec.Profiles = mixes[m].Profiles
+		spec.Policy = nf.Factory
+		spec.TrackOracleDistance = true
+		spec.KeepTrace = m == 0 // the timeline panel uses mix 0
+		res, err := Run(spec)
+		if err != nil {
+			return fmt.Errorf("harness: %s on mix %d: %w", nf.Name, m, err)
+		}
+		results[u] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, nf := range policies {
 		var acc, accMed stats.Welford
 		for m := 0; m < nMixes; m++ {
-			spec := DefaultSuiteBase(opt.Seed^uint64(m)*0x51D, opt.Ticks)
-			spec.Profiles = mixes[m].Profiles
-			spec.Policy = nf.Factory
-			spec.TrackOracleDistance = true
-			spec.KeepTrace = m == 0 // the timeline panel uses mix 0
-			res, err := Run(spec)
-			if err != nil {
-				return nil, err
-			}
+			res := results[p*nMixes+m]
 			acc.Add(res.MeanOracleDistance)
 			accMed.Add(res.MedianOracleDistance)
 			if res.Trace != nil {
@@ -187,7 +201,7 @@ func RunFig16(opt ExpOptions) (*Report, error) {
 	limit := opt.limitMixes(3) // 3 mixes suffice for the trend
 	mixes = mixes[:limit]
 
-	runWith := func(tp, te int) (Mean, error) {
+	runWith := func(tp, te, workers int) (Mean, error) {
 		suite, err := RunSuite(SuiteSpec{
 			Mixes: mixes,
 			Policies: []NamedFactory{{
@@ -196,7 +210,8 @@ func RunFig16(opt ExpOptions) (*Report, error) {
 					PrioritizationTicks: tp, EqualizationTicks: te,
 				}}),
 			}},
-			Base: DefaultSuiteBase(opt.Seed, opt.Ticks),
+			Base:    DefaultSuiteBase(opt.Seed, opt.Ticks),
+			Workers: workers,
 		})
 		if err != nil {
 			return Mean{}, err
@@ -204,21 +219,32 @@ func RunFig16(opt ExpOptions) (*Report, error) {
 		return suite.Means()["satori"], nil
 	}
 
-	tpTable := trace.NewTable("prioritization period", "throughput %oracle", "fairness %oracle")
-	for _, tp := range []int{5, 10, 20, 50, 100} {
-		m, err := runWith(tp, 100)
-		if err != nil {
-			return nil, err
+	// Both sweeps fan out over their period values; each point's suite
+	// gets the remaining worker budget.
+	tps := []int{5, 10, 20, 50, 100}
+	tes := []int{50, 100, 200, 300, 600}
+	tpMeans := make([]Mean, len(tps))
+	teMeans := make([]Mean, len(tes))
+	outer, inner := splitWorkers(opt.Workers, len(tps)+len(tes))
+	err = forEach(outer, len(tps)+len(tes), func(i int) error {
+		var err error
+		if i < len(tps) {
+			tpMeans[i], err = runWith(tps[i], 100, inner)
+		} else {
+			teMeans[i-len(tps)], err = runWith(10, tes[i-len(tps)], inner)
 		}
-		tpTable.AddRow(fmt.Sprintf("%.1fs", float64(tp)*0.1), trace.Pct(m.PctThroughput), trace.Pct(m.PctFairness))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tpTable := trace.NewTable("prioritization period", "throughput %oracle", "fairness %oracle")
+	for i, tp := range tps {
+		tpTable.AddRow(fmt.Sprintf("%.1fs", float64(tp)*0.1), trace.Pct(tpMeans[i].PctThroughput), trace.Pct(tpMeans[i].PctFairness))
 	}
 	teTable := trace.NewTable("equalization period", "throughput %oracle", "fairness %oracle")
-	for _, te := range []int{50, 100, 200, 300, 600} {
-		m, err := runWith(10, te)
-		if err != nil {
-			return nil, err
-		}
-		teTable.AddRow(fmt.Sprintf("%.0fs", float64(te)*0.1), trace.Pct(m.PctThroughput), trace.Pct(m.PctFairness))
+	for i, te := range tes {
+		teTable.AddRow(fmt.Sprintf("%.0fs", float64(te)*0.1), trace.Pct(teMeans[i].PctThroughput), trace.Pct(teMeans[i].PctFairness))
 	}
 	rep := &Report{ID: "fig16", Title: "Sensitivity to T_P (top, T_E=10s) and T_E (bottom, T_P=1s)"}
 	rep.Tables = append(rep.Tables, tpTable, teTable)
@@ -316,7 +342,8 @@ func RunFig19(opt ExpOptions) (*Report, error) {
 			{Name: "prioritize stronger", Factory: SatoriFactory(core.Options{
 				Scheduler: core.SchedulerOptions{Mode: core.WeightsFavorStronger}})},
 		},
-		Base: DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Base:    DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -34,6 +34,7 @@ func runSuiteExperiment(opt ExpOptions, suite string, policies []NamedFactory) (
 		Mixes:    mixes,
 		Policies: policies,
 		Base:     DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Workers:  opt.Workers,
 	})
 	return res, mixes, err
 }

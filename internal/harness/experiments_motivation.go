@@ -222,9 +222,13 @@ func RunFig3(opt ExpOptions) (*Report, error) {
 	snapshot := func() []pair {
 		ts := make([]float64, len(pool))
 		fs := make([]float64, len(pool))
-		for i, c := range pool {
-			ts[i], fs[i] = scoreConfig(s, c, met)
-		}
+		// Scoring is a pure read of the simulator's current phase state,
+		// so the pool fans out; forEach writes index-addressed slots and
+		// scoreConfig never fails, making the result order-independent.
+		_ = forEach(opt.Workers, len(pool), func(i int) error {
+			ts[i], fs[i] = scoreConfig(s, pool[i], met)
+			return nil
+		})
 		var out []pair
 		for i := 0; i < len(pool); i++ {
 			for j := i + 1; j < len(pool); j++ {

@@ -20,19 +20,35 @@ type ReplicatedMean struct {
 // each policy's oracle-normalized means with confidence intervals. All of
 // the reproduction's single-seed gaps that EXPERIMENTS.md labels "within
 // noise" can be checked against these intervals.
+//
+// Seeds fan out over spec.Workers (0 = all CPUs, 1 = serial); the worker
+// budget is split between the seed level and each seed's suite so nested
+// fan-outs stay bounded. Every seed's suite is independent, and the
+// per-policy series are assembled in seed order, so the result is
+// byte-identical to the serial path.
 func ReplicateSuite(spec SuiteSpec, seeds []uint64) (map[string]ReplicatedMean, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("harness: ReplicateSuite needs at least one seed")
 	}
-	perPolicyT := map[string][]float64{}
-	perPolicyF := map[string][]float64{}
-	for _, seed := range seeds {
+	outer, inner := splitWorkers(spec.Workers, len(seeds))
+	suites := make([]*SuiteResult, len(seeds))
+	err := forEach(outer, len(seeds), func(i int) error {
 		s := spec
-		s.Base.Seed = seed
+		s.Base.Seed = seeds[i]
+		s.Workers = inner
 		res, err := RunSuite(s)
 		if err != nil {
-			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+			return fmt.Errorf("harness: seed %d: %w", seeds[i], err)
 		}
+		suites[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perPolicyT := map[string][]float64{}
+	perPolicyF := map[string][]float64{}
+	for _, res := range suites {
 		for name, m := range res.Means() {
 			perPolicyT[name] = append(perPolicyT[name], m.PctThroughput)
 			perPolicyF[name] = append(perPolicyF[name], m.PctFairness)
@@ -68,6 +84,7 @@ func RunReplication(opt ExpOptions) (*Report, error) {
 		Mixes:    mixes,
 		Policies: policies,
 		Base:     DefaultSuiteBase(opt.Seed, opt.Ticks),
+		Workers:  opt.Workers,
 	}, seeds)
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 
 	"satori/internal/core"
 	"satori/internal/metrics"
@@ -26,15 +27,22 @@ import (
 )
 
 // MetricSet selects the objective formulas for an experiment. The zero
-// value is the paper's primary pairing: geometric-mean speedup and Jain's
-// index.
+// value holds the Default* sentinels, which resolve to the paper's
+// evaluation pairing (sum-of-IPS + Jain's index, Sec. IV) — the same
+// defaults DefaultMetrics returns explicitly. An explicit
+// GeoMeanSpeedup/JainIndex request is distinct from the zero value and
+// is honored as-is.
 type MetricSet struct {
 	Throughput metrics.ThroughputMetric
 	Fairness   metrics.FairnessMetric
 }
 
 // PolicyFactory builds a policy for a prepared platform. Oracle policies
-// use the platform's simulator for noise-free model access.
+// use the platform's simulator for noise-free model access. Factories
+// must be safe to call from concurrent runs: every call builds a fresh
+// policy bound to that run's platform and seed, and any captured options
+// are copied, never mutated (the harness fans runs out over a worker
+// pool; see parallel.go).
 type PolicyFactory func(p *rdt.SimPlatform, seed uint64) (policy.Policy, error)
 
 // RunSpec fully describes one run.
@@ -211,8 +219,15 @@ func Run(spec RunSpec) (*Result, error) {
 			key := phaseKey(simulator)
 			ref, ok := refCache[key]
 			if !ok {
-				ref, _ = refSearcher.Search(0.5, 0.5)
-				refCache[key] = ref
+				// Cache only successful searches: a failed search
+				// returns the zero-value Config (objective -Inf), and
+				// caching it would silently zero MeanOracleDistance
+				// for this phase for the rest of the run. Leaving the
+				// key absent retries on the next tick instead.
+				if c, v := refSearcher.Search(0.5, 0.5); c.Alloc != nil && !math.IsInf(v, -1) {
+					ref = c
+					refCache[key] = ref
+				}
 			}
 			if ref.Alloc != nil {
 				dist = resource.Distance(current, ref)

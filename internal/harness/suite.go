@@ -52,6 +52,11 @@ type SuiteSpec struct {
 	Base RunSpec
 	// OracleOptions tunes the Balanced Oracle reference runs.
 	OracleOptions oracle.Options
+	// Workers bounds the fan-out over the suite's independent run
+	// units (every mix × policy cell plus the per-mix oracle
+	// reference): 0 = one worker per CPU, 1 = serial. Results are
+	// byte-identical to the serial path for any worker count.
+	Workers int
 }
 
 // RunSuite runs every policy on every mix plus the Balanced Oracle
@@ -72,27 +77,48 @@ func RunSuite(spec SuiteSpec) (*SuiteResult, error) {
 	oracleOpts := spec.OracleOptions
 	oracleOpts.ThroughputMetric = spec.Base.Metrics.Throughput
 	oracleOpts.FairnessMetric = spec.Base.Metrics.Fairness
-	for _, mix := range spec.Mixes {
-		// Reference: Balanced Oracle on the identical seed/workload.
-		oracleSpec := spec.Base
-		oracleSpec.Profiles = mix.Profiles
-		oracleSpec.Seed = spec.Base.Seed ^ uint64(mix.Index)*0x9E37
-		oracleSpec.Policy = OracleFactory(oracle.Balanced, oracleOpts)
-		oracleRes, err := Run(oracleSpec)
-		if err != nil {
-			return nil, fmt.Errorf("harness: oracle on mix %d: %w", mix.Index, err)
-		}
-		out.OracleRaw = append(out.OracleRaw, oracleRes)
 
-		for _, nf := range spec.Policies {
-			runSpec := spec.Base
-			runSpec.Profiles = mix.Profiles
-			runSpec.Seed = spec.Base.Seed ^ uint64(mix.Index)*0x9E37
-			runSpec.Policy = nf.Factory
-			res, err := Run(runSpec)
+	// Every run unit — the Balanced Oracle reference plus each policy,
+	// per mix — is independent and reproducible from its own seed, so
+	// the units fan out over a bounded worker pool. cellSpec derives
+	// the exact RunSpec the serial loop used, and results land in
+	// index-addressed slots so the aggregation below walks mixes and
+	// policies in declared order regardless of completion order.
+	cellSpec := func(mix workloads.Mix, factory PolicyFactory) RunSpec {
+		rs := spec.Base
+		rs.Profiles = mix.Profiles
+		rs.Seed = spec.Base.Seed ^ uint64(mix.Index)*0x9E37
+		rs.Policy = factory
+		return rs
+	}
+	nPol := len(spec.Policies)
+	perMix := nPol + 1 // unit 0 of each mix is the oracle reference
+	results := make([]*Result, len(spec.Mixes)*perMix)
+	err := forEach(spec.Workers, len(results), func(u int) error {
+		mix := spec.Mixes[u/perMix]
+		var err error
+		if p := u%perMix - 1; p < 0 {
+			results[u], err = Run(cellSpec(mix, OracleFactory(oracle.Balanced, oracleOpts)))
 			if err != nil {
-				return nil, fmt.Errorf("harness: %s on mix %d: %w", nf.Name, mix.Index, err)
+				return fmt.Errorf("harness: oracle on mix %d: %w", mix.Index, err)
 			}
+		} else {
+			results[u], err = Run(cellSpec(mix, spec.Policies[p].Factory))
+			if err != nil {
+				return fmt.Errorf("harness: %s on mix %d: %w", spec.Policies[p].Name, mix.Index, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for m, mix := range spec.Mixes {
+		oracleRes := results[m*perMix]
+		out.OracleRaw = append(out.OracleRaw, oracleRes)
+		for p, nf := range spec.Policies {
+			res := results[m*perMix+1+p]
 			out.Scores[nf.Name] = append(out.Scores[nf.Name], MixScore{
 				MixIndex:      mix.Index,
 				MixNames:      mix.Names(),
@@ -174,9 +200,9 @@ func (s *SuiteResult) ScoreFor(name string, mixIndex int) (MixScore, bool) {
 
 // DefaultSuiteBase returns the standard run parameters used by the
 // figure reproductions: 60 s runs at 10 Hz on the default machine with
-// the paper's default metrics (sum-of-IPS normalized throughput is noted
-// in Sec. IV; we use the speedup geomean which the paper gives as its
-// primary formulation — both are available via Metrics).
+// the paper's default metrics (sum-of-IPS normalized throughput +
+// Jain's index, Sec. IV; the speedup geomean and 1−CoV alternatives are
+// available via Metrics).
 func DefaultSuiteBase(seed uint64, ticks int) RunSpec {
 	if ticks <= 0 {
 		ticks = 600

@@ -2,10 +2,17 @@
 // from Sec. II of the SATORI paper.
 //
 // Throughput can be expressed as the geometric mean of co-located job
-// speedups (default), the harmonic mean of speedups, or the raw sum of
-// instructions per second. Fairness is Jain's fairness index 1/(1+CoV²)
-// (default) or the unbounded 1−CoV form; both are computed over the
-// speedups relative to each job's isolated (co-location-free) performance.
+// speedups, the harmonic mean of speedups, or the raw sum of instructions
+// per second (the paper's evaluation default, Sec. IV). Fairness is Jain's
+// fairness index 1/(1+CoV²) (default) or the unbounded 1−CoV form; both
+// are computed over the speedups relative to each job's isolated
+// (co-location-free) performance.
+//
+// The zero value of both metric types is an explicit Default* sentinel
+// that resolves to the paper's evaluation pairing (SumIPS + JainIndex).
+// This keeps "unset" distinguishable from an explicit request for any
+// real metric — in particular GeoMeanSpeedup and JainIndex, which would
+// otherwise alias the zero value.
 //
 // All metric values returned by Normalized* functions lie in [0, 1] so the
 // SATORI objective f(x) = W_T·T(x) + W_F·F(x) can weigh them directly.
@@ -21,9 +28,14 @@ import (
 type ThroughputMetric int
 
 const (
+	// DefaultThroughput is the zero-value sentinel: "no explicit
+	// choice". It resolves to SumIPS, the paper's evaluation default
+	// (Sec. IV). Real metrics start at iota+1 so an explicit
+	// GeoMeanSpeedup is never mistaken for an unset field.
+	DefaultThroughput ThroughputMetric = iota
 	// GeoMeanSpeedup is the geometric mean of per-job speedups
 	// (Π s_i)^(1/N) — the paper's primary formulation.
-	GeoMeanSpeedup ThroughputMetric = iota
+	GeoMeanSpeedup
 	// HarmonicMeanSpeedup is the harmonic mean of per-job speedups.
 	HarmonicMeanSpeedup
 	// SumIPS is the sum of instructions per second across jobs, the
@@ -31,9 +43,20 @@ const (
 	SumIPS
 )
 
+// Resolve maps the DefaultThroughput sentinel to the concrete default
+// metric (SumIPS); explicit choices pass through unchanged.
+func (m ThroughputMetric) Resolve() ThroughputMetric {
+	if m == DefaultThroughput {
+		return SumIPS
+	}
+	return m
+}
+
 // String returns the metric's short name.
 func (m ThroughputMetric) String() string {
 	switch m {
+	case DefaultThroughput:
+		return "default(sum-ips)"
 	case GeoMeanSpeedup:
 		return "geomean-speedup"
 	case HarmonicMeanSpeedup:
@@ -49,17 +72,31 @@ func (m ThroughputMetric) String() string {
 type FairnessMetric int
 
 const (
+	// DefaultFairness is the zero-value sentinel: "no explicit choice".
+	// It resolves to JainIndex, the paper's default.
+	DefaultFairness FairnessMetric = iota
 	// JainIndex is Jain's fairness index 1/(1+CoV²) over speedups —
 	// bounded in (0, 1], 1 meaning perfectly equal slowdowns.
-	JainIndex FairnessMetric = iota
+	JainIndex
 	// OneMinusCoV is the 1−CoV fairness metric; it is 1 under perfect
 	// fairness and can be negative under severe unfairness.
 	OneMinusCoV
 )
 
+// Resolve maps the DefaultFairness sentinel to the concrete default
+// metric (JainIndex); explicit choices pass through unchanged.
+func (m FairnessMetric) Resolve() FairnessMetric {
+	if m == DefaultFairness {
+		return JainIndex
+	}
+	return m
+}
+
 // String returns the metric's short name.
 func (m FairnessMetric) String() string {
 	switch m {
+	case DefaultFairness:
+		return "default(jain)"
 	case JainIndex:
 		return "jain"
 	case OneMinusCoV:
@@ -89,7 +126,7 @@ func Speedups(ips, isolated []float64) []float64 {
 // Throughput aggregates speedups (or raw IPS for SumIPS) with the chosen
 // metric. For SumIPS pass the raw per-job IPS values.
 func Throughput(m ThroughputMetric, values []float64) float64 {
-	switch m {
+	switch m.Resolve() {
 	case GeoMeanSpeedup:
 		return stats.GeoMean(values)
 	case HarmonicMeanSpeedup:
@@ -104,7 +141,7 @@ func Throughput(m ThroughputMetric, values []float64) float64 {
 // Fairness computes the chosen fairness metric over speedups.
 func Fairness(m FairnessMetric, speedups []float64) float64 {
 	cov := stats.CoV(speedups)
-	switch m {
+	switch m.Resolve() {
 	case JainIndex:
 		return 1 / (1 + cov*cov)
 	case OneMinusCoV:
@@ -123,7 +160,7 @@ func Jain(speedups []float64) float64 { return Fairness(JainIndex, speedups) }
 // ceiling) and are clamped defensively; SumIPS is normalized against the
 // sum of isolated IPS, the natural upper envelope.
 func NormalizedThroughput(m ThroughputMetric, ips, isolated []float64) float64 {
-	switch m {
+	switch m := m.Resolve(); m {
 	case GeoMeanSpeedup, HarmonicMeanSpeedup:
 		t := Throughput(m, Speedups(ips, isolated))
 		return stats.Clamp(t, 0, 1)

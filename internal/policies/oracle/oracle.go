@@ -81,8 +81,9 @@ type Options struct {
 	// Seed drives the restart randomness.
 	Seed uint64
 	// ThroughputMetric and FairnessMetric select the objective
-	// formulas (defaults: geomean speedup, Jain's index — the paper's
-	// primary formulations).
+	// formulas. The zero values are the metrics package's Default*
+	// sentinels, resolving to the paper's evaluation pairing
+	// (sum-of-IPS + Jain's index).
 	ThroughputMetric metrics.ThroughputMetric
 	FairnessMetric   metrics.FairnessMetric
 }

@@ -8,7 +8,10 @@
 // simulation, policy and experiment is reproducible from a single seed.
 package stats
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a small, fast, deterministic pseudo-random number generator
 // (xoshiro256** seeded via splitmix64). It is intentionally not
@@ -62,15 +65,34 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// reduction with the rejection step ("Fast Random Integer Generation in an
+// Interval", ACM TOMACS 2019): the 128-bit product of a 64-bit draw and n
+// keeps its high word as the result, rejecting the few low-word values
+// that would make some residues over-represented. Exactly uniform for any
+// n, and rejection-free in the common case. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		// thresh = (2^64 - n) mod n: the size of the truncated
+		// remainder region that must be re-drawn.
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
 	}
-	// Rejection-free for our purposes: modulo bias is negligible for the
-	// small n used in configuration sampling, but we still use Lemire's
-	// multiply-shift reduction which is bias-free for n << 2^64.
-	return int((r.Uint64() >> 33) % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
 // NormFloat64 returns a standard normal variate (Box-Muller, polar form).

@@ -71,6 +71,84 @@ func TestIntnRange(t *testing.T) {
 	}
 }
 
+func TestIntnLargeRange(t *testing.T) {
+	// The pre-Lemire implementation reduced a 31-bit value modulo n, so
+	// for n >= 2^31 it could never return anything >= 2^31 — the top of
+	// the range was unreachable and the bottom over-represented 3x for
+	// n = 3*2^31. With the true 64-bit reduction the mean must sit near
+	// n/2 and values above 2^31 must appear.
+	r := NewRNG(13)
+	n := 3 * (1 << 31) // ~6.4e9, exceeds the old 31-bit numerator
+	const draws = 2000
+	var sum float64
+	above := 0
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+		if v >= 1<<31 {
+			above++
+		}
+		sum += float64(v)
+	}
+	mean := sum / draws
+	if mean < 0.45*float64(n) || mean > 0.55*float64(n) {
+		t.Errorf("Intn(%d) mean = %g, want ~%g", n, mean, float64(n)/2)
+	}
+	// 2/3 of the range lies above 2^31; allow generous slack.
+	if frac := float64(above) / draws; frac < 0.55 || frac > 0.78 {
+		t.Errorf("fraction above 2^31 = %g, want ~0.67", frac)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square uniformity check on a small modulus. With 7 buckets
+	// and 70,000 draws the expected count is 10,000 per bucket; the
+	// chi-square statistic with 6 degrees of freedom exceeds 22.46 with
+	// probability 0.1% under uniformity.
+	r := NewRNG(17)
+	const n, draws = 7, 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 22.46 {
+		t.Errorf("chi-square = %g over 7 buckets (counts %v), uniformity rejected at 0.1%%", chi2, counts)
+	}
+}
+
+func TestUint64nEdgeCases(t *testing.T) {
+	r := NewRNG(23)
+	for i := 0; i < 100; i++ {
+		if v := r.Uint64n(1); v != 0 {
+			t.Fatalf("Uint64n(1) = %d, want 0", v)
+		}
+	}
+	// Huge n (rejection threshold is large): values stay in range and
+	// reach the upper half.
+	n := uint64(1)<<63 + 3
+	upper := 0
+	for i := 0; i < 1000; i++ {
+		v := r.Uint64n(n)
+		if v >= n {
+			t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+		}
+		if v >= n/2 {
+			upper++
+		}
+	}
+	if upper < 400 || upper > 600 {
+		t.Errorf("upper-half fraction %d/1000, want ~500", upper)
+	}
+}
+
 func TestIntnPanicsOnNonPositive(t *testing.T) {
 	defer func() {
 		if recover() == nil {

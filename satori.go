@@ -67,21 +67,28 @@ type SessionConfig struct {
 	// NoiseSigma is the relative IPS measurement noise (default ~2%;
 	// negative disables noise).
 	NoiseSigma float64
-	// ThroughputMetric defaults to the paper's sum-of-IPS; see
-	// package satori's metric constants.
+	// ThroughputMetric selects the throughput objective. The zero
+	// value is the DefaultThroughput sentinel, which resolves to the
+	// paper's evaluation default (SumIPS); explicit choices — including
+	// GeoMeanSpeedup — are always honored.
 	ThroughputMetric metrics.ThroughputMetric
-	// FairnessMetric defaults to Jain's index.
+	// FairnessMetric selects the fairness objective. The zero value is
+	// the DefaultFairness sentinel, resolving to JainIndex.
 	FairnessMetric metrics.FairnessMetric
 	// BaselineResetTicks is the isolated-baseline refresh period
 	// (default 100 ticks = 10 s, the equalization period).
 	BaselineResetTicks int
 }
 
-// Objective metric choices, re-exported.
+// Objective metric choices, re-exported. The Default* sentinels are the
+// zero values and resolve to the paper's evaluation pairing
+// (SumIPS + JainIndex, Sec. IV).
 const (
+	DefaultThroughput   = metrics.DefaultThroughput
 	GeoMeanSpeedup      = metrics.GeoMeanSpeedup
 	HarmonicMeanSpeedup = metrics.HarmonicMeanSpeedup
 	SumIPS              = metrics.SumIPS
+	DefaultFairness     = metrics.DefaultFairness
 	JainIndex           = metrics.JainIndex
 	OneMinusCoV         = metrics.OneMinusCoV
 )
@@ -161,15 +168,10 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if resetEvery <= 0 {
 		resetEvery = 100
 	}
-	tm := cfg.ThroughputMetric
-	fm := cfg.FairnessMetric
-	if tm == 0 && fm == 0 {
-		// Zero-value config: the paper's defaults (sum-of-IPS +
-		// Jain). Callers choosing GeoMeanSpeedup explicitly also set
-		// the fairness metric, distinguishing the two cases.
-		tm = metrics.SumIPS
-		fm = metrics.JainIndex
-	}
+	// The Default* sentinels (the zero values) resolve to the paper's
+	// pairing (SumIPS + Jain); explicit choices pass through untouched.
+	tm := cfg.ThroughputMetric.Resolve()
+	fm := cfg.FairnessMetric.Resolve()
 	return &Session{
 		platform:   platform,
 		pol:        pol,

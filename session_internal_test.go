@@ -1,0 +1,48 @@
+package satori
+
+import (
+	"testing"
+
+	"satori/internal/metrics"
+)
+
+// Regression for the metric-selection aliasing bug: GeoMeanSpeedup and
+// JainIndex used to share the enum zero value with "unset", so asking
+// for exactly this pairing was silently rewritten to SumIPS + Jain.
+func TestNewSessionHonorsExplicitMetrics(t *testing.T) {
+	jobs, err := Suite(SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(SessionConfig{
+		Workloads:        jobs[:3],
+		Seed:             7,
+		ThroughputMetric: GeoMeanSpeedup,
+		FairnessMetric:   JainIndex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.tm != metrics.GeoMeanSpeedup {
+		t.Errorf("throughput metric rewritten to %v, want geomean", sess.tm)
+	}
+	if sess.fm != metrics.JainIndex {
+		t.Errorf("fairness metric rewritten to %v, want jain", sess.fm)
+	}
+}
+
+// The zero-valued config must still resolve to the paper's evaluation
+// defaults (SumIPS + JainIndex), now via the Default* sentinels.
+func TestNewSessionDefaultMetrics(t *testing.T) {
+	jobs, err := Suite(SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(SessionConfig{Workloads: jobs[:2], Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.tm != metrics.SumIPS || sess.fm != metrics.JainIndex {
+		t.Errorf("defaults resolved to %v/%v, want sum-ips/jain", sess.tm, sess.fm)
+	}
+}
