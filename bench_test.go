@@ -99,11 +99,14 @@ func benchSuite(b *testing.B, workers int) {
 func BenchmarkSuiteSerial(b *testing.B)    { benchSuite(b, 1) }
 func BenchmarkSuiteParallel4(b *testing.B) { benchSuite(b, 4) }
 
-// BenchmarkEngineOverhead measures one full SATORI BO iteration — the
+// benchEngineOverhead measures one full SATORI BO iteration — the
 // quantity the paper reports as 1.2 ms within the 100 ms interval
 // (Sec. V overhead analysis; the "overhead" experiment prints the same
-// measurement with more context).
-func BenchmarkEngineOverhead(b *testing.B) {
+// measurement with more context). Run time-based (-benchtime 2s, not Nx):
+// the first few hundred iterations are seeding/warm-up ticks that are far
+// cheaper than steady-state Decide calls.
+func benchEngineOverhead(b *testing.B, opt core.Options) {
+	b.Helper()
 	mixes, err := workloads.PaperMixes(workloads.SuitePARSEC)
 	if err != nil {
 		b.Fatal(err)
@@ -116,7 +119,8 @@ func BenchmarkEngineOverhead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := core.New(platform.Space(), core.Options{Seed: 9})
+	opt.Seed = 9
+	eng, err := core.New(platform.Space(), opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -147,6 +151,70 @@ func BenchmarkEngineOverhead(b *testing.B) {
 			current = platform.Current()
 		}
 		b.StartTimer()
+	}
+}
+
+// BenchmarkEngineOverhead is the headline per-tick cost under default
+// options (incremental proxy updates).
+func BenchmarkEngineOverhead(b *testing.B) { benchEngineOverhead(b, core.Options{}) }
+
+// BenchmarkEngineOverheadIncremental / BenchmarkEngineOverheadFullRefit
+// pin both proxy-update paths at the paper's Window=64 so the incremental
+// win (ns/op and allocs/op) is measured against the from-scratch refit
+// baseline it replaced; EXPERIMENTS.md records the numbers.
+func BenchmarkEngineOverheadIncremental(b *testing.B) {
+	benchEngineOverhead(b, core.Options{Window: 64})
+}
+
+func BenchmarkEngineOverheadFullRefit(b *testing.B) {
+	benchEngineOverhead(b, core.Options{Window: 64, FullRefit: true})
+}
+
+// benchIncrementalModel builds a warm n-observation incremental GP. The
+// targets sit under the 0.01 variance floor — matching the normalized
+// objectives the engine feeds it — so UpdateTargets takes the α-only
+// fast path rather than rebuilding.
+func benchIncrementalModel(b *testing.B, n, dim int) (*gp.Incremental, [][]float64, []float64) {
+	b.Helper()
+	rng := stats.NewRNG(5)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, dim)
+		for d := range xs[i] {
+			xs[i][d] = rng.Float64()
+		}
+		ys[i] = 0.5 + 0.05*rng.Float64()
+	}
+	m := gp.NewIncremental(gp.Options{})
+	if err := m.Reset(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	return m, xs, ys
+}
+
+// BenchmarkGPIncrementalUpdateTargets measures the α-only re-solve that
+// replaces a full refit when only the goal weights (targets) change.
+func BenchmarkGPIncrementalUpdateTargets(b *testing.B) {
+	m, _, ys := benchIncrementalModel(b, 64, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ys[i%len(ys)] += 1e-9
+		if err := m.UpdateTargets(ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPIncrementalPredict measures one alloc-free posterior query.
+func BenchmarkGPIncrementalPredict(b *testing.B) {
+	m, xs, _ := benchIncrementalModel(b, 64, 15)
+	var scratch gp.PredictScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictInto(&scratch, xs[i%len(xs)])
 	}
 }
 

@@ -90,19 +90,47 @@ func stdNormCDF(z float64) float64 {
 	return 0.5 * math.Erfc(-z/math.Sqrt2)
 }
 
+// Model is the posterior interface the acquisition machinery scores
+// against. Both *gp.GP and *gp.Incremental satisfy it; the incremental
+// model's Predict reuses internal scratch, so batch-scoring a candidate
+// set through Suggest allocates nothing.
+type Model interface {
+	Predict(x []float64) (mu, sigma float64)
+}
+
+// PosteriorModel is the joint-posterior interface Thompson sampling needs.
+type PosteriorModel interface {
+	Posterior(points [][]float64) (mu []float64, cov *linalg.Matrix)
+}
+
+// ErrNoFiniteScore is returned when every candidate's acquisition score is
+// NaN or infinite — a degenerate posterior (e.g. collapsed length-scale or
+// an incumbent of ±Inf), not a legitimate "hold the current config"
+// signal. Callers that previously treated idx < 0 with a nil error as a
+// hold must surface this instead.
+var ErrNoFiniteScore = errors.New("bo: no candidate produced a finite acquisition score")
+
 // Suggest returns the index of the candidate maximizing the acquisition
-// under the posterior g, along with the winning score. It returns an error
-// when candidates is empty.
-func Suggest(g *gp.GP, acq Acquisition, best float64, candidates [][]float64) (int, float64, error) {
+// under the posterior m, along with the winning score. Candidates whose
+// score is NaN or ±Inf are skipped; if none survives, Suggest reports
+// ErrNoFiniteScore rather than silently returning index -1.
+func Suggest(m Model, acq Acquisition, best float64, candidates [][]float64) (int, float64, error) {
 	if len(candidates) == 0 {
 		return -1, 0, errors.New("bo: no candidates to score")
 	}
 	bestIdx, bestScore := -1, math.Inf(-1)
 	for i, x := range candidates {
-		mu, sigma := g.Predict(x)
-		if s := acq.Score(mu, sigma, best); s > bestScore {
+		mu, sigma := m.Predict(x)
+		s := acq.Score(mu, sigma, best)
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			continue
+		}
+		if s > bestScore {
 			bestIdx, bestScore = i, s
 		}
+	}
+	if bestIdx < 0 {
+		return -1, 0, ErrNoFiniteScore
 	}
 	return bestIdx, bestScore, nil
 }
@@ -113,7 +141,7 @@ func Suggest(g *gp.GP, acq Acquisition, best float64, candidates [][]float64) (i
 // the posterior randomness instead of an explicit bonus, which makes it a
 // natural comparison point for the paper's Expected Improvement choice
 // (see the acquisition ablation).
-func ThompsonSuggest(g *gp.GP, rng *stats.RNG, candidates [][]float64) (int, error) {
+func ThompsonSuggest(g PosteriorModel, rng *stats.RNG, candidates [][]float64) (int, error) {
 	if len(candidates) == 0 {
 		return -1, errors.New("bo: no candidates to score")
 	}
@@ -134,12 +162,19 @@ func ThompsonSuggest(g *gp.GP, rng *stats.RNG, candidates [][]float64) (int, err
 		}
 	}
 	if err != nil {
-		// Degenerate posterior: fall back to the mean's argmax.
-		best := 0
+		// Degenerate posterior: fall back to the mean's argmax over the
+		// finite entries.
+		best := -1
 		for i, v := range mu {
-			if v > mu[best] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if best < 0 || v > mu[best] {
 				best = i
 			}
+		}
+		if best < 0 {
+			return -1, ErrNoFiniteScore
 		}
 		return best, nil
 	}
@@ -153,9 +188,15 @@ func ThompsonSuggest(g *gp.GP, rng *stats.RNG, candidates [][]float64) (int, err
 		for k := 0; k <= i; k++ {
 			s += chol.LAt(i, k) * z[k]
 		}
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			continue
+		}
 		if s > bestVal {
 			best, bestVal = i, s
 		}
+	}
+	if best < 0 {
+		return -1, ErrNoFiniteScore
 	}
 	return best, nil
 }

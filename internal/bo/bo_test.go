@@ -1,10 +1,12 @@
 package bo
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"satori/internal/gp"
+	"satori/internal/linalg"
 	"satori/internal/stats"
 )
 
@@ -286,5 +288,115 @@ func TestThompsonSuggestErrors(t *testing.T) {
 	idx, err := ThompsonSuggest(model, stats.NewRNG(1), dup)
 	if err != nil || idx < 0 || idx >= 3 {
 		t.Errorf("duplicate candidates: idx=%d err=%v", idx, err)
+	}
+}
+
+// scriptedModel is a Model stub whose prediction is a pure function of the
+// candidate, for driving degenerate posteriors through Suggest.
+type scriptedModel struct {
+	predict func(x []float64) (float64, float64)
+}
+
+func (m scriptedModel) Predict(x []float64) (float64, float64) { return m.predict(x) }
+
+// TestSuggestAllNaNScoresReturnsTypedError is the regression test for the
+// silent-failure bug: Suggest used to return idx=-1 with a NIL error when
+// every score was NaN, and the engine then silently held the current
+// config. It must now surface ErrNoFiniteScore.
+func TestSuggestAllNaNScoresReturnsTypedError(t *testing.T) {
+	nan := scriptedModel{predict: func([]float64) (float64, float64) { return math.NaN(), 1 }}
+	idx, _, err := Suggest(nan, EI{}, 0, [][]float64{{0}, {1}})
+	if !errors.Is(err, ErrNoFiniteScore) {
+		t.Fatalf("all-NaN scores: got idx=%d err=%v, want ErrNoFiniteScore", idx, err)
+	}
+	if idx != -1 {
+		t.Fatalf("all-NaN scores: idx=%d, want -1", idx)
+	}
+
+	// A degenerate incumbent (best=+Inf) drives EI to NaN through a
+	// perfectly healthy GP — the realistic trigger.
+	model, ferr := gp.Fit([][]float64{{0}, {0.5}}, []float64{0.1, 0.2}, gp.Options{})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if _, _, err := Suggest(model, EI{}, math.Inf(1), [][]float64{{0.2}, {0.8}}); !errors.Is(err, ErrNoFiniteScore) {
+		t.Fatalf("best=+Inf: err=%v, want ErrNoFiniteScore", err)
+	}
+}
+
+// TestSuggestSkipsNonFiniteScores: candidates with NaN/Inf scores must be
+// passed over, not win or poison the argmax.
+func TestSuggestSkipsNonFiniteScores(t *testing.T) {
+	m := scriptedModel{predict: func(x []float64) (float64, float64) {
+		switch {
+		case x[0] < 0:
+			return math.NaN(), 1
+		case x[0] > 10:
+			return math.Inf(1), 0
+		default:
+			return x[0], 0
+		}
+	}}
+	cands := [][]float64{{-1}, {2}, {99}, {5}, {-3}}
+	idx, score, err := Suggest(m, UCB{}, 0, cands)
+	if err != nil {
+		t.Fatalf("Suggest: %v", err)
+	}
+	if idx != 3 || score != 5 {
+		t.Fatalf("got idx=%d score=%g, want the finite maximum idx=3 score=5", idx, score)
+	}
+}
+
+// TestSuggestAcceptsIncrementalModel pins the Model seam: the incremental
+// posterior must be scoreable by the same acquisition machinery and agree
+// with the from-scratch fit.
+func TestSuggestAcceptsIncrementalModel(t *testing.T) {
+	xs := [][]float64{{0}, {0.05}, {1}, {0.95}}
+	ys := []float64{0.1, 0.12, 0.1, 0.11}
+	opt := gp.Options{Kernel: gp.Matern52{LengthScale: 0.1, Variance: 1}, Noise: 1e-4}
+	full, err := gp.Fit(xs, ys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := gp.NewIncremental(opt)
+	if err := inc.Reset(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	cands := [][]float64{{0.01}, {0.5}}
+	fi, fs, err := Suggest(full, EI{}, 0.12, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, is, err := Suggest(inc, EI{}, 0.12, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi != ii || math.Abs(fs-is) > 1e-9 {
+		t.Fatalf("incremental suggest (%d, %g) != full (%d, %g)", ii, is, fi, fs)
+	}
+}
+
+// nanPosterior is a PosteriorModel stub with an all-NaN joint posterior.
+type nanPosterior struct{}
+
+func (nanPosterior) Posterior(points [][]float64) ([]float64, *linalg.Matrix) {
+	mu := make([]float64, len(points))
+	for i := range mu {
+		mu[i] = math.NaN()
+	}
+	cov := linalg.NewMatrix(len(points), len(points))
+	for i := range mu {
+		cov.Set(i, i, math.NaN())
+	}
+	return mu, cov
+}
+
+// TestThompsonSuggestAllNaNReturnsTypedError: same silent-failure class as
+// Suggest — a fully degenerate posterior must surface ErrNoFiniteScore,
+// not an arbitrary index.
+func TestThompsonSuggestAllNaNReturnsTypedError(t *testing.T) {
+	idx, err := ThompsonSuggest(nanPosterior{}, stats.NewRNG(1), [][]float64{{0}, {1}})
+	if !errors.Is(err, ErrNoFiniteScore) {
+		t.Fatalf("got idx=%d err=%v, want ErrNoFiniteScore", idx, err)
 	}
 }

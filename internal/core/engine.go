@@ -6,6 +6,7 @@ import (
 
 	"satori/internal/bo"
 	"satori/internal/gp"
+	"satori/internal/linalg"
 	"satori/internal/policy"
 	"satori/internal/resource"
 	"satori/internal/stats"
@@ -62,6 +63,11 @@ type Options struct {
 	// manages everything. Used for the Sec. V source-of-benefit
 	// ablation (SATORI on LLC only vs dCAT; LLC+MBW vs CoPart).
 	Managed []resource.Kind
+	// FullRefit rebuilds the proxy model from scratch with gp.Fit every
+	// tick instead of updating it incrementally — the pre-incremental
+	// behavior, kept as the golden reference for equivalence tests and
+	// as the overhead benchmarks' baseline.
+	FullRefit bool
 	// Name overrides the policy name in reports.
 	Name string
 }
@@ -101,15 +107,38 @@ type Engine struct {
 	managedRows []int // indices of managed rows, for uniform sampling
 	equalSplit  resource.Config
 
-	prevPreds    map[string]float64
-	proxyChange  float64
-	lastObj      float64
-	lastWeights  Weights
-	fitFailures  int
-	decideTicks  int
-	exploits     int
+	prevPreds   map[string]float64
+	currPreds   map[string]float64 // ping-pong partner of prevPreds
+	proxyChange float64
+	lastObj     float64
+	lastWeights Weights
+	fitFailures int
+	acqFailures int
+	decideTicks int
+	exploits    int
+
+	// Incremental proxy-model state: model row i conditions on
+	// modelRecs[i] (modelSet is its index), so per-tick target
+	// reconstruction can feed UpdateTargets/Append in model order.
+	model     *gp.Incremental
+	modelRecs []*Record
+	modelSet  map[*Record]int
+
+	// Per-tick scratch, reused across Decide calls.
+	windowBuf    []*Record
+	xsBuf        [][]float64
+	ysBuf        []float64
 	candidateBuf [][]float64
 	candidateCfg []resource.Config
+	candCount    int
+}
+
+// proxyModel is the posterior surface Decide scores against — satisfied
+// by both the incremental model and the from-scratch *gp.GP.
+type proxyModel interface {
+	Predict(x []float64) (mu, sigma float64)
+	PredictMean(x []float64) float64
+	Posterior(points [][]float64) (mu []float64, cov *linalg.Matrix)
 }
 
 // New builds a SATORI engine over space.
@@ -131,6 +160,8 @@ func New(space *resource.Space, opt Options) (*Engine, error) {
 		recs:       NewRecords(),
 		equalSplit: space.EqualSplit(),
 		prevPreds:  make(map[string]float64),
+		model:      gp.NewIncremental(gp.Options{Noise: opt.Noise}),
+		modelSet:   make(map[*Record]int),
 	}
 	switch opt.Acquisition {
 	case "", "ei", "ucb", "pi", "ts":
@@ -239,44 +270,9 @@ func (e *Engine) restrictToManaged(c resource.Config) resource.Config {
 // under the Sec. V source-of-benefit ablations (Managed restricted to a
 // subset) would be systematically shorter than full SATORI's.
 func (e *Engine) randomWalk(c resource.Config, steps int) resource.Config {
-	if len(e.managedRows) == 0 {
-		return c
-	}
-	cur := c
-	for s := 0; s < steps; s++ {
-		r := e.managedRows[e.rng.Intn(len(e.managedRows))]
-		from := e.rng.Intn(e.space.Jobs)
-		to := e.rng.Intn(e.space.Jobs)
-		if next, ok := e.space.Move(cur, r, from, to); ok {
-			cur = next
-		}
-	}
-	return cur
-}
-
-// managedNeighbors enumerates one-unit moves within managed rows only.
-func (e *Engine) managedNeighbors(c resource.Config) []resource.Config {
-	var out []resource.Config
-	for r, managed := range e.managedRow {
-		if !managed {
-			continue
-		}
-		for from := 0; from < e.space.Jobs; from++ {
-			if c.Alloc[r][from] <= 1 {
-				continue
-			}
-			for to := 0; to < e.space.Jobs; to++ {
-				if to == from {
-					continue
-				}
-				n, ok := e.space.Move(c, r, from, to)
-				if ok {
-					out = append(out, n)
-				}
-			}
-		}
-	}
-	return out
+	dst := e.space.NewConfig()
+	e.randomWalkInto(dst, c, steps)
+	return dst
 }
 
 // Decide implements policy.Policy — one iteration of Algorithm 1.
@@ -298,46 +294,63 @@ func (e *Engine) Decide(obs policy.Observation, current resource.Config) resourc
 	}
 
 	// (4) Software reconstruction of the objective for every recorded
-	// configuration under the fresh weights, then proxy-model refit.
-	window := e.recs.Window(e.opt.Window)
-	xs := make([][]float64, len(window))
-	ys := make([]float64, len(window))
+	// configuration under the fresh weights, then proxy-model update.
+	e.windowBuf = e.recs.WindowInto(e.windowBuf, e.opt.Window)
+	window := e.windowBuf
 	best := math.Inf(-1)
 	var bestCfg resource.Config
-	type scored struct {
-		y   float64
-		cfg resource.Config
-	}
-	top := make([]scored, 0, 3)
-	for i, rec := range window {
-		xs[i] = rec.Vector
-		ys[i] = rec.Objective(w)
-		if ys[i] > best {
-			best = ys[i]
+	// Top few configurations (descending objective) for neighborhood
+	// seeding, kept in fixed arrays to stay off the heap.
+	topN := 0
+	var topY [3]float64
+	var topCfg [3]resource.Config
+	for _, rec := range window {
+		y := rec.Objective(w)
+		if y > best {
+			best = y
 			bestCfg = rec.Config
 		}
-		// Track the top few configurations for neighborhood seeding.
-		inserted := false
-		for k := range top {
-			if ys[i] > top[k].y {
-				top = append(top[:k], append([]scored{{ys[i], rec.Config}}, top[k:]...)...)
-				inserted = true
+		p := topN
+		for i := 0; i < topN; i++ {
+			if y > topY[i] {
+				p = i
 				break
 			}
 		}
-		if !inserted && len(top) < 3 {
-			top = append(top, scored{ys[i], rec.Config})
-		}
-		if len(top) > 3 {
-			top = top[:3]
+		if p < 3 && (p < topN || topN < 3) {
+			if topN < 3 {
+				topN++
+			}
+			for i := topN - 1; i > p; i-- {
+				topY[i], topCfg[i] = topY[i-1], topCfg[i-1]
+			}
+			topY[p], topCfg[p] = y, rec.Config
 		}
 	}
-	model, err := gp.Fit(xs, ys, gp.Options{Noise: e.opt.Noise})
-	if err != nil {
-		// Degenerate window (should not happen after seeding): fall
-		// back to exploration.
-		e.fitFailures++
-		return e.restrictToManaged(e.space.Random(e.rng))
+	var model proxyModel
+	if e.opt.FullRefit {
+		// Golden reference path: rebuild the kernel matrix and
+		// refactorize from scratch, exactly as before the incremental
+		// model existed.
+		e.xsBuf, e.ysBuf = e.xsBuf[:0], e.ysBuf[:0]
+		for _, rec := range window {
+			e.xsBuf = append(e.xsBuf, rec.Vector)
+			e.ysBuf = append(e.ysBuf, rec.Objective(w))
+		}
+		m, err := gp.Fit(e.xsBuf, e.ysBuf, gp.Options{Noise: e.opt.Noise})
+		if err != nil {
+			// Degenerate window (should not happen after seeding):
+			// fall back to exploration.
+			e.fitFailures++
+			return e.restrictToManaged(e.space.Random(e.rng))
+		}
+		model = m
+	} else {
+		if err := e.syncModel(window, w); err != nil {
+			e.fitFailures++
+			return e.restrictToManaged(e.space.Random(e.rng))
+		}
+		model = e.model
 	}
 	e.trackProxyChange(model, window)
 
@@ -347,29 +360,43 @@ func (e *Engine) Decide(obs policy.Observation, current resource.Config) resourc
 	// imbalanced, and probing them in a live system punishes the
 	// starved jobs — cf. the worst-job metric of Fig. 9), plus the
 	// exact neighborhoods of the best few recorded configurations.
-	e.candidateCfg = e.candidateCfg[:0]
+	// Configurations and vectors live in per-engine pools; the
+	// generation order (and therefore the RNG draw sequence) is
+	// identical to the allocating code it replaced.
+	e.candCount = 0
 	for i := 0; i < e.opt.Candidates/2; i++ {
-		e.candidateCfg = append(e.candidateCfg, e.restrictToManaged(e.space.Random(e.rng)))
+		c := e.nextCandidate()
+		e.space.RandomInto(e.rng, c)
+		e.clampUnmanaged(c)
 	}
 	for i := e.opt.Candidates / 2; i < e.opt.Candidates; i++ {
-		e.candidateCfg = append(e.candidateCfg, e.randomWalk(bestCfg, 3))
+		e.randomWalkInto(e.nextCandidate(), bestCfg, 3)
 	}
-	for _, t := range top {
-		e.candidateCfg = append(e.candidateCfg, e.managedNeighbors(t.cfg)...)
+	for t := 0; t < topN; t++ {
+		e.appendManagedNeighbors(topCfg[t])
 	}
-	e.candidateBuf = e.candidateBuf[:0]
-	for _, c := range e.candidateCfg {
-		e.candidateBuf = append(e.candidateBuf, e.space.Vector(c))
+	cands := e.candidateCfg[:e.candCount]
+	for len(e.candidateBuf) < e.candCount {
+		e.candidateBuf = append(e.candidateBuf, nil)
 	}
+	for i, c := range cands {
+		e.candidateBuf[i] = e.space.VectorInto(e.candidateBuf[i], c)
+	}
+	vecs := e.candidateBuf[:e.candCount]
 
 	// (6) Acquisition maximization (Expected Improvement by default,
-	// Sec. III-A; UCB/PI/Thompson for the acquisition ablation).
+	// Sec. III-A; UCB/PI/Thompson for the acquisition ablation). A
+	// degenerate posterior (bo.ErrNoFiniteScore) or any other
+	// acquisition error holds the current configuration, but is counted
+	// in diagnostics instead of silently masquerading as a hold.
 	var idx int
 	var score float64
+	var err error
 	switch e.opt.Acquisition {
 	case "", "ei":
-		idx, score, err = bo.Suggest(model, bo.EI{Xi: e.opt.Xi}, best, e.candidateBuf)
+		idx, score, err = bo.Suggest(model, bo.EI{Xi: e.opt.Xi}, best, vecs)
 		if err != nil || idx < 0 {
+			e.acqFailures++
 			return current
 		}
 		// (7) Exploit when no candidate promises a meaningful
@@ -381,35 +408,185 @@ func (e *Engine) Decide(obs policy.Observation, current resource.Config) resourc
 			return bestCfg
 		}
 	case "ucb":
-		idx, _, err = bo.Suggest(model, bo.UCB{Beta: 2}, best, e.candidateBuf)
+		idx, _, err = bo.Suggest(model, bo.UCB{Beta: 2}, best, vecs)
 		if err != nil || idx < 0 {
+			e.acqFailures++
 			return current
 		}
 	case "pi":
-		idx, _, err = bo.Suggest(model, bo.PI{Xi: e.opt.Xi}, best, e.candidateBuf)
+		idx, _, err = bo.Suggest(model, bo.PI{Xi: e.opt.Xi}, best, vecs)
 		if err != nil || idx < 0 {
+			e.acqFailures++
 			return current
 		}
 	case "ts":
-		idx, err = bo.ThompsonSuggest(model, e.rng, e.candidateBuf)
+		idx, err = bo.ThompsonSuggest(model, e.rng, vecs)
 		if err != nil || idx < 0 {
+			e.acqFailures++
 			return current
 		}
 	}
-	return e.candidateCfg[idx]
+	// The pool slot is reused next tick; hand out a copy.
+	return cands[idx].Clone()
+}
+
+// syncModel folds this tick's window into the incremental proxy model,
+// choosing the cheapest sufficient update (Sec. V overhead optimization):
+//
+//   - unchanged membership (every exploit/revisit tick): only the
+//     re-weighted targets moved, so one O(n²) α re-solve via
+//     UpdateTargets — the kernel factor carries over untouched;
+//   - exactly one new configuration: O(n²) rank-1 Cholesky append;
+//   - anything else (first fit after seeding, window eviction, model
+//     recovery): full refit, adopting the window's order.
+//
+// On error the model is empty and the engine's membership tracking is
+// cleared, so the next tick re-enters through the Reset path.
+func (e *Engine) syncModel(window []*Record, w Weights) error {
+	n := len(window)
+	var fresh *Record
+	miss := -1
+	if n > 0 && e.model.Len() == len(e.modelRecs) &&
+		(n == len(e.modelRecs) || n == len(e.modelRecs)+1) {
+		miss = 0
+		for _, rec := range window {
+			if _, ok := e.modelSet[rec]; !ok {
+				miss++
+				fresh = rec
+				if miss > 1 {
+					break
+				}
+			}
+		}
+	}
+	switch {
+	case miss == 0 && n == len(e.modelRecs):
+		e.ysBuf = e.ysBuf[:0]
+		for _, rec := range e.modelRecs {
+			e.ysBuf = append(e.ysBuf, rec.Objective(w))
+		}
+		if err := e.model.UpdateTargets(e.ysBuf); err != nil {
+			return e.dropModel(err)
+		}
+	case miss == 1 && n == len(e.modelRecs)+1:
+		e.ysBuf = e.ysBuf[:0]
+		for _, rec := range e.modelRecs {
+			e.ysBuf = append(e.ysBuf, rec.Objective(w))
+		}
+		e.ysBuf = append(e.ysBuf, fresh.Objective(w))
+		if err := e.model.Append(fresh.Vector, e.ysBuf); err != nil {
+			return e.dropModel(err)
+		}
+		e.modelSet[fresh] = len(e.modelRecs)
+		e.modelRecs = append(e.modelRecs, fresh)
+	default:
+		e.xsBuf, e.ysBuf = e.xsBuf[:0], e.ysBuf[:0]
+		e.modelRecs = e.modelRecs[:0]
+		for k := range e.modelSet {
+			delete(e.modelSet, k)
+		}
+		for i, rec := range window {
+			e.xsBuf = append(e.xsBuf, rec.Vector)
+			e.ysBuf = append(e.ysBuf, rec.Objective(w))
+			e.modelRecs = append(e.modelRecs, rec)
+			e.modelSet[rec] = i
+		}
+		if err := e.model.Reset(e.xsBuf, e.ysBuf); err != nil {
+			return e.dropModel(err)
+		}
+	}
+	return nil
+}
+
+// dropModel clears the membership tracking after a model failure so the
+// next tick rebuilds from the window.
+func (e *Engine) dropModel(err error) error {
+	e.modelRecs = e.modelRecs[:0]
+	for k := range e.modelSet {
+		delete(e.modelSet, k)
+	}
+	return err
+}
+
+// nextCandidate hands out the next pooled candidate configuration,
+// growing the pool on first use.
+func (e *Engine) nextCandidate() resource.Config {
+	if e.candCount == len(e.candidateCfg) {
+		e.candidateCfg = append(e.candidateCfg, e.space.NewConfig())
+	}
+	c := e.candidateCfg[e.candCount]
+	e.candCount++
+	return c
+}
+
+// clampUnmanaged pins unmanaged rows of c to the equal split, in place.
+func (e *Engine) clampUnmanaged(c resource.Config) {
+	for r, managed := range e.managedRow {
+		if !managed {
+			copy(c.Alloc[r], e.equalSplit.Alloc[r])
+		}
+	}
+}
+
+// randomWalkInto copies c into dst and applies up to steps random one-unit
+// moves in managed rows — randomWalk without the per-move clones,
+// consuming the identical RNG draw sequence (illegal moves still burn
+// their draws).
+func (e *Engine) randomWalkInto(dst, c resource.Config, steps int) {
+	dst.CopyFrom(c)
+	if len(e.managedRows) == 0 {
+		return
+	}
+	for s := 0; s < steps; s++ {
+		r := e.managedRows[e.rng.Intn(len(e.managedRows))]
+		from := e.rng.Intn(e.space.Jobs)
+		to := e.rng.Intn(e.space.Jobs)
+		e.space.MoveInPlace(dst, r, from, to)
+	}
+}
+
+// appendManagedNeighbors pushes every one-unit move of c within managed
+// rows onto the candidate pool, in the same enumeration order as
+// managedNeighbors.
+func (e *Engine) appendManagedNeighbors(c resource.Config) {
+	for r, managed := range e.managedRow {
+		if !managed {
+			continue
+		}
+		for from := 0; from < e.space.Jobs; from++ {
+			if c.Alloc[r][from] <= 1 {
+				continue
+			}
+			for to := 0; to < e.space.Jobs; to++ {
+				if to == from {
+					continue
+				}
+				n := e.nextCandidate()
+				n.CopyFrom(c)
+				n.Alloc[r][from]--
+				n.Alloc[r][to]++
+			}
+		}
+	}
 }
 
 // trackProxyChange records the mean absolute relative change of the proxy
 // model's predictions across consecutive iterations over the recorded
 // configurations — the quantity of Fig. 17(b).
-func (e *Engine) trackProxyChange(model *gp.GP, window []*Record) {
-	preds := make(map[string]float64, len(window))
+func (e *Engine) trackProxyChange(model proxyModel, window []*Record) {
+	// Ping-pong between two maps so steady state allocates nothing.
+	preds := e.currPreds
+	if preds == nil {
+		preds = make(map[string]float64, len(window))
+	}
+	for k := range preds {
+		delete(preds, k)
+	}
 	sum, n := 0.0, 0
 	for _, rec := range window {
-		key := rec.Config.Key()
 		p := model.PredictMean(rec.Vector)
-		preds[key] = p
-		if prev, ok := e.prevPreds[key]; ok {
+		preds[rec.Key] = p
+		if prev, ok := e.prevPreds[rec.Key]; ok {
 			denom := math.Abs(prev)
 			if denom < 1e-9 {
 				denom = 1e-9
@@ -421,6 +598,7 @@ func (e *Engine) trackProxyChange(model *gp.GP, window []*Record) {
 	if n > 0 {
 		e.proxyChange = sum / float64(n)
 	}
+	e.currPreds = e.prevPreds
 	e.prevPreds = preds
 }
 
@@ -445,6 +623,17 @@ func (e *Engine) Records() *Records { return e.recs }
 
 // FitFailures counts degenerate proxy refits (diagnostics).
 func (e *Engine) FitFailures() int { return e.fitFailures }
+
+// AcquisitionFailures counts ticks on which the acquisition could not
+// produce a candidate (degenerate posteriors scoring every candidate
+// NaN/Inf — bo.ErrNoFiniteScore — or other suggest errors) and the engine
+// held the current configuration. Previously these were silent holds.
+func (e *Engine) AcquisitionFailures() int { return e.acqFailures }
+
+// GPStats returns the incremental proxy model's update-path counters
+// (full refits vs rank-1 extends vs α-only target re-solves) — always
+// zero when Options.FullRefit is set.
+func (e *Engine) GPStats() gp.IncrementalStats { return e.model.Stats() }
 
 // Exploits counts ticks on which the engine held the incumbent best
 // configuration instead of probing (diagnostics; also the trigger for the

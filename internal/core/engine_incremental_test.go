@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"satori/internal/policy"
+	"satori/internal/resource"
+)
+
+// driveKeys runs the engine like drive but returns the full decision
+// sequence (config keys), for replay comparisons.
+func driveKeys(t *testing.T, eng *Engine, env *syntheticEnv, n int) []string {
+	t.Helper()
+	current := env.space.EqualSplit()
+	keys := make([]string, 0, n)
+	for tick := 1; tick <= n; tick++ {
+		tp, fair := env.eval(current)
+		obs := policy.Observation{
+			Tick: tick, Time: float64(tick) * 0.1,
+			Throughput: tp, Fairness: fair,
+		}
+		next := eng.Decide(obs, current)
+		if err := env.space.Validate(next); err != nil {
+			t.Fatalf("invalid config at tick %d: %v", tick, err)
+		}
+		keys = append(keys, next.Key())
+		current = next
+	}
+	return keys
+}
+
+// TestEngineLifecycleIncremental drives one engine through every phase of
+// the incremental path — seeding, exploration (rank-1 appends), exploit
+// ticks (α-only target re-solves), and window eviction (full refits) —
+// and checks each path actually ran. With -race this doubles as the
+// ISSUE's race-detector lifecycle test.
+func TestEngineLifecycleIncremental(t *testing.T) {
+	env := newSyntheticEnv(0.01)
+	eng, err := New(env.space, Options{Seed: 5, Window: 4, InitialSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, eng, env, 300)
+	if eng.FitFailures() != 0 {
+		t.Errorf("%d proxy fit failures", eng.FitFailures())
+	}
+	if eng.AcquisitionFailures() != 0 {
+		t.Errorf("%d acquisition failures", eng.AcquisitionFailures())
+	}
+	if eng.Records().Len() <= 4 {
+		t.Errorf("only %d distinct configs recorded; window eviction never exercised", eng.Records().Len())
+	}
+	st := eng.GPStats()
+	if st.Refits == 0 {
+		t.Error("no full refits: the first-fit/eviction path never ran")
+	}
+	if st.TargetSolves == 0 {
+		t.Error("no α-only solves: the unchanged-membership fast path never ran")
+	}
+	// Note the fast-path split is data-dependent: the α-only solve
+	// requires the data-scaled variance heuristic to be unchanged,
+	// which holds whenever its 0.01 floor binds. On real normalized
+	// simulator data the floor binds on ~90% of ticks (540/600 α-only
+	// solves vs 48 refits on the overhead workload); this synthetic
+	// landscape's wider objective spread unfloors it, so here we only
+	// require every path to have run. Rank-1 Extends are rare on the
+	// heuristic-kernel path — membership changes usually move the
+	// median length-scale, forcing a refit — and are pinned directly by
+	// the gp and linalg package tests.
+	if eng.Exploits() == 0 {
+		t.Error("engine never exploited on the synthetic landscape")
+	}
+}
+
+// TestEngineIncrementalMatchesFullRefit replays the same seed through the
+// incremental engine and the FullRefit golden path; the decision sequences
+// must match tick for tick. (The two paths differ only in floating-point
+// summation order, ~1e-15 on posterior values — never enough to flip a
+// candidate argmax on this landscape.)
+func TestEngineIncrementalMatchesFullRefit(t *testing.T) {
+	run := func(fullRefit bool) []string {
+		env := newSyntheticEnv(0.01)
+		eng, err := New(env.space, Options{Seed: 9, Window: 8, FullRefit: fullRefit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return driveKeys(t, eng, env, 250)
+	}
+	inc, full := run(false), run(true)
+	for i := range inc {
+		if inc[i] != full[i] {
+			t.Fatalf("decision diverged at tick %d: incremental %q vs full refit %q", i+1, inc[i], full[i])
+		}
+	}
+}
+
+// TestEngineConcurrentEnginesDeterministic runs identically-seeded engines
+// in parallel goroutines: their decision sequences must be identical, and
+// under -race this verifies the incremental path shares no hidden mutable
+// state between engine instances.
+func TestEngineConcurrentEnginesDeterministic(t *testing.T) {
+	const workers = 4
+	seqs := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			env := newSyntheticEnv(0.01)
+			eng, err := New(env.space, Options{Seed: 11, Window: 8})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			seqs[w] = driveKeys(t, eng, env, 200)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range seqs[0] {
+			if seqs[w][i] != seqs[0][i] {
+				t.Fatalf("engine %d diverged from engine 0 at tick %d: %q vs %q",
+					w, i+1, seqs[w][i], seqs[0][i])
+			}
+		}
+	}
+}
+
+// TestEngineAcquisitionFailureSurfaced is the engine half of the NaN
+// acquisition bugfix: a NaN exploration margin legitimately drives every
+// EI score to NaN through the public API; the engine must hold the
+// current configuration AND count the failure, where it previously held
+// silently.
+func TestEngineAcquisitionFailureSurfaced(t *testing.T) {
+	env := newSyntheticEnv(0)
+	eng, err := New(env.space, Options{Seed: 13, InitialSamples: 3, Xi: math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := env.space.EqualSplit()
+	held := 0
+	for tick := 1; tick <= 20; tick++ {
+		tp, fair := env.eval(current)
+		next := eng.Decide(policy.Observation{
+			Tick: tick, Time: float64(tick) * 0.1,
+			Throughput: tp, Fairness: fair,
+		}, current)
+		if tick > 3 && next.Equal(current) {
+			held++
+		}
+		current = next
+	}
+	if eng.AcquisitionFailures() == 0 {
+		t.Fatal("NaN Xi never registered as an acquisition failure")
+	}
+	if held != eng.AcquisitionFailures() {
+		t.Errorf("held %d ticks but counted %d acquisition failures", held, eng.AcquisitionFailures())
+	}
+}
+
+// TestEngineReturnedConfigIsNotAliased: Decide's explore decisions come
+// from a pooled candidate buffer that is overwritten every tick; the
+// returned config must be a private copy.
+func TestEngineReturnedConfigIsNotAliased(t *testing.T) {
+	env := newSyntheticEnv(0.05)
+	eng, err := New(env.space, Options{Seed: 17, ExploitThreshold: -1}) // always explore
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := env.space.EqualSplit()
+	var prev resource.Config
+	var prevKey string
+	for tick := 1; tick <= 60; tick++ {
+		tp, fair := env.eval(current)
+		next := eng.Decide(policy.Observation{
+			Tick: tick, Time: float64(tick) * 0.1,
+			Throughput: tp, Fairness: fair,
+		}, current)
+		if prev.Alloc != nil && prev.Key() != prevKey {
+			t.Fatalf("tick %d: previously returned config mutated from %q to %q", tick, prevKey, prev.Key())
+		}
+		prev, prevKey = next, next.Key()
+		current = next
+	}
+}

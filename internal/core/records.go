@@ -14,6 +14,9 @@ import (
 type Record struct {
 	// Config is the configuration this record describes.
 	Config resource.Config
+	// Key is Config.Key(), memoized so per-tick consumers (window
+	// sorting, proxy-change tracking) never rebuild the string.
+	Key string
 	// Vector is the GP input encoding of Config.
 	Vector []float64
 	// Throughput and Fairness are the most recent normalized
@@ -60,7 +63,7 @@ func (r *Records) Update(space *resource.Space, cfg resource.Config, throughput,
 	key := cfg.Key()
 	rec, ok := r.bySig[key]
 	if !ok {
-		rec = &Record{Config: cfg.Clone(), Vector: space.Vector(cfg)}
+		rec = &Record{Config: cfg.Clone(), Key: key, Vector: space.Vector(cfg)}
 		r.bySig[key] = rec
 	}
 	rec.Throughput = throughput
@@ -100,7 +103,13 @@ func (r *Records) Has(cfg resource.Config) bool {
 // Window returns up to n records, most recently evaluated first. The
 // returned slice is freshly allocated but shares Record pointers.
 func (r *Records) Window(n int) []*Record {
-	all := make([]*Record, 0, len(r.bySig))
+	return r.WindowInto(nil, n)
+}
+
+// WindowInto is Window writing into dst[:0], for per-tick callers that
+// reuse the slice.
+func (r *Records) WindowInto(dst []*Record, n int) []*Record {
+	all := dst[:0]
 	for _, rec := range r.bySig {
 		all = append(all, rec)
 	}
@@ -109,7 +118,7 @@ func (r *Records) Window(n int) []*Record {
 			return all[i].LastTick > all[j].LastTick
 		}
 		// Deterministic tie-break for replayability.
-		return all[i].Config.Key() < all[j].Config.Key()
+		return all[i].Key < all[j].Key
 	})
 	if n > 0 && len(all) > n {
 		all = all[:n]

@@ -114,9 +114,18 @@ type SchedulerOptions struct {
 	// EqualizationTicks is T_E in 100 ms ticks (default 100 = 10 s).
 	EqualizationTicks int
 	// WeightFloor and WeightCeil override the [0.25, 0.75] bounds of
-	// Sec. III-C (used by the bounds ablation; 0 keeps the defaults).
+	// Sec. III-C (used by the bounds ablation). The zero value keeps the
+	// defaults; an explicit 0 bound (the truly unbounded ablation) is
+	// expressed by also setting the matching *Set flag — the same
+	// sentinel pattern as Options.StaticWTSet.
 	WeightFloor float64
 	WeightCeil  float64
+	// WeightFloorSet marks WeightFloor as explicit, so WeightFloor: 0 is
+	// honored as "no floor" instead of being rewritten to 0.25.
+	WeightFloorSet bool
+	// WeightCeilSet marks WeightCeil as explicit (a ceiling of exactly 1
+	// needs no flag; it is accepted directly).
+	WeightCeilSet bool
 }
 
 // NewScheduler builds a weight scheduler.
@@ -127,11 +136,14 @@ func NewScheduler(opt SchedulerOptions) *Scheduler {
 	if opt.EqualizationTicks <= 0 {
 		opt.EqualizationTicks = 100
 	}
-	if opt.WeightFloor <= 0 {
+	if opt.WeightFloor < 0 || (opt.WeightFloor == 0 && !opt.WeightFloorSet) {
 		opt.WeightFloor = DefaultWeightFloor
 	}
-	if opt.WeightCeil <= 0 || opt.WeightCeil > 1 {
+	if opt.WeightCeil < 0 || opt.WeightCeil > 1 || (opt.WeightCeil == 0 && !opt.WeightCeilSet) {
 		opt.WeightCeil = DefaultWeightCeil
+	}
+	if opt.WeightCeil < opt.WeightFloor {
+		opt.WeightFloor, opt.WeightCeil = DefaultWeightFloor, DefaultWeightCeil
 	}
 	winLen := opt.PrioritizationTicks / 3
 	if winLen < 1 {

@@ -240,3 +240,53 @@ func TestWeightBoundsPropertyQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestExplicitZeroFloorHonored is the regression test for the
+// silently-rewritten bounds ablation: NewScheduler used to turn
+// WeightFloor: 0 back into the 0.25 default because the unset sentinel was
+// `<= 0`, making the "bounded vs unbounded" ablation (DESIGN.md §6)
+// compare 0.25/0.75 against 0.25/0.75. With WeightFloorSet the explicit
+// zero must survive, and weights must actually be able to leave the
+// default band.
+func TestExplicitZeroFloorHonored(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{
+		PrioritizationTicks: 2,
+		EqualizationTicks:   1000, // keep equalization's pull negligible
+		WeightFloor:         0, WeightFloorSet: true,
+		WeightCeil: 1,
+	})
+	if s.floor != 0 || s.ceil != 1 {
+		t.Fatalf("bounds = [%g, %g], want the explicit [0, 1]", s.floor, s.ceil)
+	}
+	// Throughput improves hugely, fairness not at all: with span = 1 the
+	// prioritization weight for throughput goes to the floor (the weaker
+	// goal gets the opportunity), far below the default 0.25 bound.
+	escaped := false
+	for i := 0; i < 40; i++ {
+		w := s.Step(1+float64(i), 1)
+		if w.T < DefaultWeightFloor-0.05 {
+			escaped = true
+		}
+		if w.T < 0 || w.T > 1 {
+			t.Fatalf("tick %d: weight %g outside [0, 1]", i, w.T)
+		}
+	}
+	if !escaped {
+		t.Error("weights never left the default [0.25, 0.75] band despite unbounded configuration")
+	}
+}
+
+// TestUnsetBoundsKeepDefaults pins the pre-existing behavior for callers
+// that leave the options zeroed.
+func TestUnsetBoundsKeepDefaults(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{})
+	if s.floor != DefaultWeightFloor || s.ceil != DefaultWeightCeil {
+		t.Fatalf("bounds = [%g, %g], want defaults [%g, %g]",
+			s.floor, s.ceil, DefaultWeightFloor, DefaultWeightCeil)
+	}
+	// Nonsensical explicit bounds (ceil below floor) also fall back.
+	s = NewScheduler(SchedulerOptions{WeightFloor: 0.9, WeightCeil: 0.1, WeightCeilSet: true})
+	if s.floor != DefaultWeightFloor || s.ceil != DefaultWeightCeil {
+		t.Fatalf("inverted bounds = [%g, %g], want defaults", s.floor, s.ceil)
+	}
+}

@@ -125,11 +125,7 @@ func Fit(xs [][]float64, ys []float64, opt Options) (*GP, error) {
 	if noise <= 0 {
 		noise = 1e-4
 	}
-	mean := 0.0
-	for _, y := range ys {
-		mean += y
-	}
-	mean /= float64(n)
+	mean := sampleMean(ys)
 
 	kernel := opt.Kernel
 	if kernel == nil {
@@ -139,20 +135,8 @@ func Fit(xs [][]float64, ys []float64, opt Options) (*GP, error) {
 		// yields a usable prior). This keeps posterior uncertainty on
 		// the same scale as the data, which Expected Improvement
 		// depends on.
-		v := 0.0
-		for _, y := range ys {
-			d := y - mean
-			v += d * d
-		}
-		v /= float64(n)
-		// Floor the signal variance at (0.1)²: objectives in this
-		// repository live on a [0, 1] scale, and a clustered initial
-		// design (e.g. SATORI's low-imbalance S_init) would otherwise
-		// collapse the prior uncertainty and choke off exploration.
-		if v < 0.01 {
-			v = 0.01
-		}
-		kernel = Matern52{LengthScale: MedianLengthScale(xs), Variance: v}
+		ls, _ := medianLengthScaleInto(nil, xs)
+		kernel = Matern52{LengthScale: ls, Variance: flooredVariance(ys, mean)}
 	}
 
 	// Build the kernel matrix K + noise·I; escalate jitter on failure.
@@ -207,18 +191,46 @@ func cloneInputs(xs [][]float64) [][]float64 {
 	return out
 }
 
+// PredictScratch is caller-owned workspace for zero-allocation posterior
+// prediction. The zero value is ready to use; buffers grow on first use
+// and are reused afterwards. A scratch must not be shared between
+// concurrent predictions.
+type PredictScratch struct {
+	kstar []float64
+	v     []float64
+}
+
+// resize readies the scratch for an n-observation model.
+func (s *PredictScratch) resize(n int) {
+	if cap(s.kstar) < n {
+		s.kstar = make([]float64, n)
+		s.v = make([]float64, n)
+	}
+	s.kstar = s.kstar[:n]
+	s.v = s.v[:n]
+}
+
 // Predict returns the posterior mean and standard deviation at x.
 func (g *GP) Predict(x []float64) (mu, sigma float64) {
+	var s PredictScratch
+	return g.PredictInto(&s, x)
+}
+
+// PredictInto is Predict with caller-owned scratch: after the scratch's
+// buffers have grown to the model size it performs no allocations, which
+// is what keeps batch candidate scoring off the allocator on the engine's
+// 100 ms tick.
+func (g *GP) PredictInto(s *PredictScratch, x []float64) (mu, sigma float64) {
 	n := len(g.xs)
-	kstar := make([]float64, n)
+	s.resize(n)
 	for i, xi := range g.xs {
-		kstar[i] = g.kernel.Eval(x, xi)
+		s.kstar[i] = g.kernel.Eval(x, xi)
 	}
-	mu = g.mean + linalg.Dot(kstar, g.alpha)
+	mu = g.mean + linalg.Dot(s.kstar, g.alpha)
 	// σ² = k(x,x) − k*ᵀ K⁻¹ k*, computed via the triangular solve
 	// v = L⁻¹ k* so that k*ᵀK⁻¹k* = vᵀv.
-	v := g.chol.SolveLower(kstar)
-	variance := g.kernel.Eval(x, x) - linalg.Dot(v, v)
+	g.chol.SolveLowerInto(s.v, s.kstar)
+	variance := g.kernel.Eval(x, x) - linalg.Dot(s.v, s.v)
 	if variance < 0 {
 		variance = 0
 	}
@@ -291,7 +303,14 @@ func (g *GP) Kernel() Kernel { return g.kernel }
 // inputs — a standard no-tuning heuristic for the kernel length scale. It
 // falls back to 1 when there are fewer than two distinct points.
 func MedianLengthScale(xs [][]float64) float64 {
-	var dists []float64
+	ls, _ := medianLengthScaleInto(nil, xs)
+	return ls
+}
+
+// medianLengthScaleInto is MedianLengthScale with a reusable distance
+// buffer (returned grown so callers can keep it across refreshes).
+func medianLengthScaleInto(dists []float64, xs [][]float64) (float64, []float64) {
+	dists = dists[:0]
 	// Cap the O(n²) pair scan; beyond a few hundred points the median
 	// is already stable.
 	limit := len(xs)
@@ -307,8 +326,35 @@ func MedianLengthScale(xs [][]float64) float64 {
 		}
 	}
 	if len(dists) == 0 {
-		return 1
+		return 1, dists
 	}
 	sort.Float64s(dists)
-	return dists[len(dists)/2]
+	return dists[len(dists)/2], dists
+}
+
+// sampleMean returns the average of ys (the GP's constant prior mean).
+func sampleMean(ys []float64) float64 {
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	return mean / float64(len(ys))
+}
+
+// flooredVariance is the no-tuning signal-variance heuristic: the sample
+// variance of the observations, floored at (0.1)². Objectives in this
+// repository live on a [0, 1] scale, and a clustered initial design
+// (e.g. SATORI's low-imbalance S_init) would otherwise collapse the prior
+// uncertainty and choke off exploration.
+func flooredVariance(ys []float64, mean float64) float64 {
+	v := 0.0
+	for _, y := range ys {
+		d := y - mean
+		v += d * d
+	}
+	v /= float64(len(ys))
+	if v < 0.01 {
+		v = 0.01
+	}
+	return v
 }

@@ -1,0 +1,351 @@
+// Incremental Gaussian-process regression for the engine's 100 ms tick.
+//
+// SATORI's proxy model changes in three distinct ways, with very different
+// costs:
+//
+//  1. Re-weighting: the goal weights move, every recorded objective
+//     y_i = W_T·T_i + W_F·F_i is reconstructed in software (Sec. III-B),
+//     but the window's *inputs* are untouched. The kernel matrix — and
+//     therefore its Cholesky factor — depends only on the inputs, so only
+//     the solve α = K⁻¹(y−m) needs to be repeated: O(n²), not O(n³).
+//  2. Append: a newly probed configuration joins the window. The factor
+//     gains one row/column via linalg.Cholesky.Extend — again O(n²).
+//  3. Eviction: the sliding window drops old configurations. The factor
+//     is rebuilt from scratch (refactorization, not downdating — eviction
+//     is rare relative to ticks, and refactorization is unconditionally
+//     stable).
+//
+// Incremental implements exactly this split, with the same no-tuning
+// hyperparameter heuristics as Fit: heuristics are re-evaluated only when
+// the window's membership changes (or when the re-weighted targets move
+// the data-scaled signal variance), and the full rebuild runs only when
+// they actually changed. All paths reuse internal buffers, so a model
+// that has reached its steady-state size performs no heap allocations.
+
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"satori/internal/linalg"
+)
+
+// IncrementalStats counts how the model has been updated — the
+// diagnostics behind the engine-overhead experiment's refit/extend/solve
+// breakdown.
+type IncrementalStats struct {
+	// Refits is the number of full O(n³) refactorizations (membership or
+	// hyperparameter changes, and Extend fallbacks).
+	Refits int
+	// Extends is the number of O(n²) rank-1 appends.
+	Extends int
+	// TargetSolves is the number of O(n²) α-only re-solves (pure target
+	// re-weighting, the common case while the engine exploits).
+	TargetSolves int
+}
+
+// Incremental is a GP posterior that can be updated in place. The zero
+// value is not usable; construct with NewIncremental. Methods are not safe
+// for concurrent use (Predict reuses an internal scratch).
+type Incremental struct {
+	fixed  Kernel // caller-pinned kernel; nil means heuristic refresh
+	noise  float64
+	kernel Kernel
+	ls     float64 // heuristic length scale backing kernel
+	vr     float64 // heuristic signal variance backing kernel
+
+	n     int
+	dim   int
+	xbuf  [][]float64 // owned input copies; len >= n
+	mean  float64
+	alpha []float64
+	chol  *linalg.Cholesky
+	jitter float64
+
+	stats IncrementalStats
+
+	kbuf    *linalg.Matrix
+	distBuf []float64
+	rowBuf  []float64
+	ctrBuf  []float64
+	scratch PredictScratch
+}
+
+// NewIncremental returns an empty incremental model. opt is interpreted
+// exactly as by Fit: a nil Kernel selects the Matérn 5/2 heuristics,
+// Noise defaults to 1e-4.
+func NewIncremental(opt Options) *Incremental {
+	noise := opt.Noise
+	if noise <= 0 {
+		noise = 1e-4
+	}
+	return &Incremental{fixed: opt.Kernel, kernel: opt.Kernel, noise: noise}
+}
+
+// Len returns how many points the posterior conditions on.
+func (m *Incremental) Len() int { return m.n }
+
+// Stats returns the update-path counters.
+func (m *Incremental) Stats() IncrementalStats { return m.stats }
+
+// Kernel returns the model's current kernel (nil before the first Reset
+// in heuristic mode).
+func (m *Incremental) Kernel() Kernel { return m.kernel }
+
+// Jitter returns the diagonal jitter of the current factorization.
+func (m *Incremental) Jitter() float64 { return m.jitter }
+
+// Reset fits the model from scratch on the given window, adopting its
+// order. On any error the model is left empty (Len 0) and must be Reset
+// again before use; its buffers are retained.
+func (m *Incremental) Reset(xs [][]float64, ys []float64) error {
+	n := len(xs)
+	if n == 0 {
+		m.n = 0
+		return ErrNoData
+	}
+	if len(ys) != n {
+		m.n = 0
+		return fmt.Errorf("gp: %d inputs but %d observations", n, len(ys))
+	}
+	dim := len(xs[0])
+	for i, x := range xs {
+		if len(x) != dim {
+			m.n = 0
+			return fmt.Errorf("gp: input %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+	m.dim = dim
+	for i, x := range xs {
+		m.setX(i, x)
+	}
+	m.n = n
+	if m.fixed == nil {
+		m.refreshHeuristics(ys)
+	}
+	return m.rebuild(ys)
+}
+
+// Append extends the model with one new point. ys carries the (possibly
+// re-weighted) targets for every point, the new one last, so a single α
+// solve folds in both the append and this tick's re-weighting. When the
+// no-tuning hyperparameter heuristics are unchanged by the new point the
+// factor grows by a rank-1 Extend in O(n²); otherwise the kernel changed
+// and the model refits — identically to a from-scratch Fit — in place.
+func (m *Incremental) Append(x []float64, ys []float64) error {
+	if m.n == 0 {
+		return m.Reset([][]float64{x}, ys)
+	}
+	if len(ys) != m.n+1 {
+		err := fmt.Errorf("gp: Append got %d targets for %d points", len(ys), m.n+1)
+		m.n = 0
+		return err
+	}
+	if len(x) != m.dim {
+		err := fmt.Errorf("gp: Append input has dim %d, want %d", len(x), m.dim)
+		m.n = 0
+		return err
+	}
+	m.setX(m.n, x)
+	m.n++
+	if m.fixed == nil && m.refreshHeuristics(ys) {
+		// Membership change moved the heuristics: hyperparameter
+		// refresh, which invalidates every kernel entry.
+		return m.rebuild(ys)
+	}
+	// Kernel unchanged: rank-1 append of the new row/column.
+	row := m.growRow(m.n - 1)
+	xnew := m.xbuf[m.n-1]
+	for i := 0; i < m.n-1; i++ {
+		row[i] = m.kernel.Eval(xnew, m.xbuf[i])
+	}
+	if err := m.chol.Extend(row, m.kernel.Eval(xnew, xnew)+m.jitter); err != nil {
+		// Near-singular append (e.g. a duplicate input): fall back to
+		// refactorization with jitter escalation.
+		return m.rebuild(ys)
+	}
+	m.stats.Extends++
+	m.solveAlpha(ys)
+	return nil
+}
+
+// UpdateTargets re-solves the posterior for re-weighted targets over the
+// unchanged window — the engine's fast path while it exploits: the paper
+// skips the proxy-model update after the optimal configuration has been
+// detected, and with an unchanged window membership the kernel factor
+// carries over, leaving one O(n²) solve. When the data-scaled variance
+// heuristic moves (it is floored, so it rarely does), the kernel itself
+// changed and the model refits in place.
+func (m *Incremental) UpdateTargets(ys []float64) error {
+	if m.n == 0 {
+		return ErrNoData
+	}
+	if len(ys) != m.n {
+		err := fmt.Errorf("gp: UpdateTargets got %d targets for %d points", len(ys), m.n)
+		m.n = 0
+		return err
+	}
+	if m.fixed == nil && m.refreshHeuristics(ys) {
+		return m.rebuild(ys)
+	}
+	m.stats.TargetSolves++
+	m.solveAlpha(ys)
+	return nil
+}
+
+// refreshHeuristics re-evaluates the no-tuning hyperparameters over the
+// current window and reports whether they changed, updating the kernel
+// when they did. Note the 256-point cap in the median scan: beyond it the
+// scan is order-sensitive, so windows larger than 256 may refresh on
+// revisit-induced reorderings that a from-scratch Fit would not notice.
+func (m *Incremental) refreshHeuristics(ys []float64) bool {
+	var ls float64
+	ls, m.distBuf = medianLengthScaleInto(m.distBuf, m.xbuf[:m.n])
+	vr := flooredVariance(ys, sampleMean(ys))
+	if ls == m.ls && vr == m.vr && m.kernel != nil {
+		return false
+	}
+	m.ls, m.vr = ls, vr
+	m.kernel = Matern52{LengthScale: ls, Variance: vr}
+	return true
+}
+
+// rebuild refactorizes the kernel matrix — the same computation as Fit,
+// including the jitter escalation schedule, but into reused buffers. On
+// failure the model is left empty.
+func (m *Incremental) rebuild(ys []float64) error {
+	n := m.n
+	if m.kbuf == nil {
+		m.kbuf = linalg.NewMatrix(n, n)
+	} else if cap(m.kbuf.Data) < n*n {
+		*m.kbuf = *linalg.NewMatrix(n, n)
+	} else {
+		m.kbuf.Rows, m.kbuf.Cols = n, n
+		m.kbuf.Data = m.kbuf.Data[:n*n]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := m.kernel.Eval(m.xbuf[i], m.xbuf[j])
+			m.kbuf.Set(i, j, v)
+			m.kbuf.Set(j, i, v)
+		}
+	}
+	if m.chol == nil {
+		m.chol = &linalg.Cholesky{}
+	}
+	var err error
+	for attempt, j := 0, m.noise; attempt < 8; attempt, j = attempt+1, j*10 {
+		for i := 0; i < n; i++ {
+			m.kbuf.Set(i, i, m.kernel.Eval(m.xbuf[i], m.xbuf[i])+j)
+		}
+		if err = m.chol.Factorize(m.kbuf); err == nil {
+			m.jitter = j
+			break
+		}
+	}
+	if err != nil {
+		m.n = 0
+		return fmt.Errorf("gp: kernel matrix not factorizable even with jitter: %w", err)
+	}
+	m.stats.Refits++
+	m.solveAlpha(ys)
+	return nil
+}
+
+// solveAlpha recomputes the prior mean and α = K⁻¹(y − m) into reused
+// buffers.
+func (m *Incremental) solveAlpha(ys []float64) {
+	m.mean = sampleMean(ys)
+	if cap(m.ctrBuf) < m.n {
+		m.ctrBuf = make([]float64, m.n)
+		m.alpha = make([]float64, m.n)
+	}
+	m.ctrBuf = m.ctrBuf[:m.n]
+	m.alpha = m.alpha[:m.n]
+	for i, y := range ys {
+		m.ctrBuf[i] = y - m.mean
+	}
+	m.chol.SolveVecInto(m.alpha, m.ctrBuf)
+}
+
+// setX copies x into the owned input buffer at index i.
+func (m *Incremental) setX(i int, x []float64) {
+	for i >= len(m.xbuf) {
+		m.xbuf = append(m.xbuf, make([]float64, len(x)))
+	}
+	if len(m.xbuf[i]) != len(x) {
+		m.xbuf[i] = make([]float64, len(x))
+	}
+	copy(m.xbuf[i], x)
+}
+
+// growRow readies the kernel-row scratch for n entries.
+func (m *Incremental) growRow(n int) []float64 {
+	if cap(m.rowBuf) < n {
+		m.rowBuf = make([]float64, n)
+	}
+	m.rowBuf = m.rowBuf[:n]
+	return m.rowBuf
+}
+
+// Predict returns the posterior mean and standard deviation at x, reusing
+// the model's internal scratch (zero allocations at steady state; not
+// concurrency-safe).
+func (m *Incremental) Predict(x []float64) (mu, sigma float64) {
+	return m.PredictInto(&m.scratch, x)
+}
+
+// PredictInto is Predict with caller-owned scratch.
+func (m *Incremental) PredictInto(s *PredictScratch, x []float64) (mu, sigma float64) {
+	n := m.n
+	s.resize(n)
+	for i := 0; i < n; i++ {
+		s.kstar[i] = m.kernel.Eval(x, m.xbuf[i])
+	}
+	mu = m.mean + linalg.Dot(s.kstar, m.alpha)
+	m.chol.SolveLowerInto(s.v, s.kstar)
+	variance := m.kernel.Eval(x, x) - linalg.Dot(s.v, s.v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mu, math.Sqrt(variance)
+}
+
+// PredictMean returns only the posterior mean at x (no triangular solve,
+// no allocations).
+func (m *Incremental) PredictMean(x []float64) float64 {
+	s := &m.scratch
+	s.resize(m.n)
+	for i := 0; i < m.n; i++ {
+		s.kstar[i] = m.kernel.Eval(x, m.xbuf[i])
+	}
+	return m.mean + linalg.Dot(s.kstar, m.alpha)
+}
+
+// Posterior returns the joint posterior mean vector and covariance matrix
+// over a set of query points — same contract as GP.Posterior, for
+// Thompson sampling.
+func (m *Incremental) Posterior(points [][]float64) (mu []float64, cov *linalg.Matrix) {
+	q := len(points)
+	n := m.n
+	mu = make([]float64, q)
+	vs := make([][]float64, q)
+	for i, x := range points {
+		kstar := make([]float64, n)
+		for j := 0; j < n; j++ {
+			kstar[j] = m.kernel.Eval(x, m.xbuf[j])
+		}
+		mu[i] = m.mean + linalg.Dot(kstar, m.alpha)
+		vs[i] = m.chol.SolveLower(kstar)
+	}
+	cov = linalg.NewMatrix(q, q)
+	for i := 0; i < q; i++ {
+		for j := 0; j <= i; j++ {
+			v := m.kernel.Eval(points[i], points[j]) - linalg.Dot(vs[i], vs[j])
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return mu, cov
+}

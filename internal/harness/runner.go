@@ -105,6 +105,11 @@ type Result struct {
 	MedianOracleDistance float64
 	// Applies is how many configuration changes the platform accepted.
 	Applies int
+	// RejectedApplies is how many of the policy's decisions the platform
+	// refused (invalid or non-compilable configurations). Before this
+	// counter, a policy emitting garbage was indistinguishable from one
+	// that deliberately held the current configuration.
+	RejectedApplies int
 	// Trace holds per-tick columns when KeepTrace was set:
 	// tick, time, throughput, fairness, objective, worst, and — when
 	// the policy exposes them — wT, wF, wTE, wFE, wTP, wFP, satobj,
@@ -212,6 +217,8 @@ func Run(spec RunSpec) (*Result, error) {
 		next := pol.Decide(obs, current)
 		if err := platform.Apply(next); err == nil {
 			current = platform.Current()
+		} else {
+			res.RejectedApplies++
 		}
 
 		var dist float64

@@ -4,6 +4,9 @@ import (
 	"testing"
 
 	"satori/internal/core"
+	"satori/internal/policy"
+	"satori/internal/rdt"
+	"satori/internal/resource"
 	"satori/internal/workloads"
 )
 
@@ -148,6 +151,85 @@ func TestAllFactoriesRun(t *testing.T) {
 	} {
 		if _, err := Run(smokeSpec(t, f)); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// brokenPolicy alternates between an invalid configuration (nil Alloc —
+// the platform must reject it) and holding the current one.
+type brokenPolicy struct{ tick int }
+
+func (b *brokenPolicy) Name() string { return "broken" }
+
+func (b *brokenPolicy) Decide(_ policy.Observation, current resource.Config) resource.Config {
+	b.tick++
+	if b.tick%2 == 0 {
+		return resource.Config{} // invalid: no allocation matrix
+	}
+	return current
+}
+
+// TestRejectedAppliesSurfaced is the regression test for the swallowed
+// platform.Apply error: a policy emitting invalid configurations used to
+// be indistinguishable from one that deliberately holds. The rejection
+// count must now be visible in Result.
+func TestRejectedAppliesSurfaced(t *testing.T) {
+	spec := smokeSpec(t, func(*rdt.SimPlatform, uint64) (policy.Policy, error) {
+		return &brokenPolicy{}, nil
+	})
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedApplies != 60 {
+		t.Errorf("RejectedApplies = %d, want 60 (every second tick of 120)", res.RejectedApplies)
+	}
+	// A well-behaved policy must report zero rejections.
+	res, err = Run(smokeSpec(t, SatoriFactory(core.Options{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedApplies != 0 {
+		t.Errorf("healthy policy has RejectedApplies = %d", res.RejectedApplies)
+	}
+}
+
+// TestRunIncrementalMatchesFullRefit is the suite-level golden check for
+// the incremental proxy path: identical specs run with the default
+// (incremental) engine and with FullRefit must produce bit-identical
+// aggregate results, because the two paths share the candidate stream and
+// differ only in floating-point summation order (~1e-15 on posteriors,
+// never enough to flip a candidate argmax).
+func TestRunIncrementalMatchesFullRefit(t *testing.T) {
+	mixes, err := workloads.PaperMixes(workloads.SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi, mix := range mixes[:2] {
+		run := func(fullRefit bool) *Result {
+			spec := DefaultSuiteBase(23, 200)
+			spec.Profiles = mix.Profiles
+			spec.Policy = SatoriFactory(core.Options{Window: 16, FullRefit: fullRefit})
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		inc, full := run(false), run(true)
+		for name, pair := range map[string][2]float64{
+			"MeanThroughput":   {inc.MeanThroughput, full.MeanThroughput},
+			"MeanFairness":     {inc.MeanFairness, full.MeanFairness},
+			"MeanObjective":    {inc.MeanObjective, full.MeanObjective},
+			"MeanWorstSpeedup": {inc.MeanWorstSpeedup, full.MeanWorstSpeedup},
+		} {
+			if pair[0] != pair[1] {
+				t.Errorf("mix %d: %s diverged: incremental %.17g vs full refit %.17g",
+					mi, name, pair[0], pair[1])
+			}
+		}
+		if inc.Applies != full.Applies {
+			t.Errorf("mix %d: Applies diverged: %d vs %d", mi, inc.Applies, full.Applies)
 		}
 	}
 }

@@ -65,36 +65,106 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 }
 
 // Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+// The factor can grow in place: Extend appends one row/column in O(n²)
+// (a rank-1 append), and Factorize refactorizes into the existing storage,
+// so long-lived factors on a hot path do not reallocate.
 type Cholesky struct {
-	n int
-	l []float64 // row-major lower triangle (full square storage)
+	n      int
+	stride int       // row stride of l; >= n so appends have headroom
+	l      []float64 // row-major lower triangle (stride x stride storage)
 }
 
 // NewCholesky factorizes the SPD matrix a (only the lower triangle is
 // read). It returns ErrNotSPD when a pivot is not strictly positive.
 func NewCholesky(a *Matrix) (*Cholesky, error) {
+	c := &Cholesky{}
+	if err := c.Factorize(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factorize (re)factorizes the SPD matrix a into c, reusing c's storage
+// when it is large enough. On error c is left empty (Size 0); the storage
+// is retained for the next attempt.
+func (c *Cholesky) Factorize(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+		return fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	l := make([]float64, n*n)
+	c.n = 0
+	c.grow(n)
+	l, s := c.l, c.stride
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			sum := a.At(i, j)
 			for k := 0; k < j; k++ {
-				sum -= l[i*n+k] * l[j*n+k]
+				sum -= l[i*s+k] * l[j*s+k]
 			}
 			if i == j {
 				if sum <= 0 || math.IsNaN(sum) {
-					return nil, ErrNotSPD
+					return ErrNotSPD
 				}
-				l[i*n+j] = math.Sqrt(sum)
+				l[i*s+j] = math.Sqrt(sum)
 			} else {
-				l[i*n+j] = sum / l[j*n+j]
+				l[i*s+j] = sum / l[j*s+j]
 			}
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	c.n = n
+	return nil
+}
+
+// grow ensures storage for an n x n factor, preserving the current rows.
+func (c *Cholesky) grow(n int) {
+	if n <= c.stride {
+		return
+	}
+	stride := 2 * c.stride
+	if stride < n {
+		stride = n
+	}
+	l := make([]float64, stride*stride)
+	for i := 0; i < c.n; i++ {
+		copy(l[i*stride:i*stride+i+1], c.l[i*c.stride:i*c.stride+i+1])
+	}
+	c.l, c.stride = l, stride
+}
+
+// Extend appends one row/column to the factored matrix in O(n²): given
+// row[i] = A(n, i) against the existing points and diag = A(n, n), it
+// computes the new factor row by one forward solve plus a scalar pivot.
+// This is the rank-1 append that keeps the GP proxy model's per-tick cost
+// quadratic instead of cubic. It returns ErrNotSPD (leaving the factor
+// unchanged) when the extended matrix loses positive definiteness; window
+// eviction is handled by refactorization (Factorize), not downdating.
+func (c *Cholesky) Extend(row []float64, diag float64) error {
+	if len(row) != c.n {
+		panic(fmt.Sprintf("linalg: Extend dimension mismatch: %d vs %d", len(row), c.n))
+	}
+	n := c.n
+	c.grow(n + 1)
+	l, s := c.l, c.stride
+	// New off-diagonal entries: w = L⁻¹·row (forward substitution),
+	// written directly into the appended row.
+	for i := 0; i < n; i++ {
+		sum := row[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*s+k] * l[n*s+k]
+		}
+		l[n*s+i] = sum / l[i*s+i]
+	}
+	// New pivot: L(n,n)² = diag − ||w||².
+	pivot := diag
+	for k := 0; k < n; k++ {
+		pivot -= l[n*s+k] * l[n*s+k]
+	}
+	if pivot <= 0 || math.IsNaN(pivot) {
+		return ErrNotSPD
+	}
+	l[n*s+n] = math.Sqrt(pivot)
+	c.n = n + 1
+	return nil
 }
 
 // Size returns the dimension of the factored matrix.
@@ -106,52 +176,61 @@ func (c *Cholesky) LAt(i, j int) float64 {
 	if j > i {
 		return 0
 	}
-	return c.l[i*c.n+j]
+	return c.l[i*c.stride+j]
 }
 
 // SolveVec solves A·x = b using the factorization (forward then backward
 // substitution). b is not modified.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
+	return c.SolveVecInto(make([]float64, c.n), b)
+}
+
+// SolveVecInto solves A·x = b into dst, which must have length Size and
+// may not alias b. No allocations: the backward pass runs in place on the
+// forward pass's result.
+func (c *Cholesky) SolveVecInto(dst, b []float64) []float64 {
 	if len(b) != c.n {
 		panic(fmt.Sprintf("linalg: SolveVec dimension mismatch: %d vs %d", len(b), c.n))
 	}
-	y := c.SolveLower(b)
-	return c.solveUpper(y)
+	c.SolveLowerInto(dst, b)
+	n, l, s := c.n, c.l, c.stride
+	for i := n - 1; i >= 0; i-- {
+		sum := dst[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*s+i] * dst[k]
+		}
+		dst[i] = sum / l[i*s+i]
+	}
+	return dst
 }
 
 // SolveLower solves L·y = b by forward substitution. b is not modified.
 func (c *Cholesky) SolveLower(b []float64) []float64 {
-	n := c.n
-	y := make([]float64, n)
+	return c.SolveLowerInto(make([]float64, c.n), b)
+}
+
+// SolveLowerInto solves L·y = b into dst, which must have length Size and
+// may not alias b. No allocations.
+func (c *Cholesky) SolveLowerInto(dst, b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("linalg: SolveLower dimension mismatch: %d vs %d", len(b), c.n))
+	}
+	n, l, s := c.n, c.l, c.stride
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
-			sum -= c.l[i*n+k] * y[k]
+			sum -= l[i*s+k] * dst[k]
 		}
-		y[i] = sum / c.l[i*n+i]
+		dst[i] = sum / l[i*s+i]
 	}
-	return y
-}
-
-// solveUpper solves Lᵀ·x = y by backward substitution.
-func (c *Cholesky) solveUpper(y []float64) []float64 {
-	n := c.n
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		sum := y[i]
-		for k := i + 1; k < n; k++ {
-			sum -= c.l[k*n+i] * x[k]
-		}
-		x[i] = sum / c.l[i*n+i]
-	}
-	return x
+	return dst
 }
 
 // LogDet returns log|A| = 2·Σ log L_ii, computed stably from the factor.
 func (c *Cholesky) LogDet() float64 {
 	s := 0.0
 	for i := 0; i < c.n; i++ {
-		s += math.Log(c.l[i*c.n+i])
+		s += math.Log(c.l[i*c.stride+i])
 	}
 	return 2 * s
 }

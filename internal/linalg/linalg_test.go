@@ -222,3 +222,153 @@ func TestDotAndSquaredDistance(t *testing.T) {
 		}()
 	}
 }
+
+// TestCholeskyExtendMatchesFullFactorization is the property test pinning
+// the rank-1 append: growing a factor one row at a time must agree with
+// factorizing the full matrix from scratch, across random SPD matrices of
+// varied sizes.
+func TestCholeskyExtendMatchesFullFactorization(t *testing.T) {
+	rng := stats.NewRNG(71)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + int(rng.Uint64n(40))
+		a := randomSPD(rng, n)
+		full, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: full factorization failed: %v", trial, err)
+		}
+		// Start from the leading 1x1 block and extend up to n.
+		lead := NewMatrix(1, 1)
+		lead.Set(0, 0, a.At(0, 0))
+		inc, err := NewCholesky(lead)
+		if err != nil {
+			t.Fatalf("trial %d: leading block failed: %v", trial, err)
+		}
+		for m := 1; m < n; m++ {
+			row := make([]float64, m)
+			for j := 0; j < m; j++ {
+				row[j] = a.At(m, j)
+			}
+			if err := inc.Extend(row, a.At(m, m)); err != nil {
+				t.Fatalf("trial %d: Extend to %d failed: %v", trial, m+1, err)
+			}
+		}
+		if inc.Size() != n {
+			t.Fatalf("trial %d: extended size %d, want %d", trial, inc.Size(), n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if d := math.Abs(inc.LAt(i, j) - full.LAt(i, j)); d > 1e-9 {
+					t.Fatalf("trial %d: L(%d,%d) differs by %g (extend %g vs full %g)",
+						trial, i, j, d, inc.LAt(i, j), full.LAt(i, j))
+				}
+			}
+		}
+		if d := math.Abs(inc.LogDet() - full.LogDet()); d > 1e-9 {
+			t.Fatalf("trial %d: LogDet differs by %g", trial, d)
+		}
+	}
+}
+
+func TestCholeskyExtendRejectsNonSPD(t *testing.T) {
+	a := NewMatrix(1, 1)
+	a.Set(0, 0, 4)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appending a row that makes the matrix singular (second point equal
+	// to the first: [[4,4],[4,4]] has determinant 0) must fail and leave
+	// the factor untouched.
+	if err := c.Extend([]float64{4}, 4); err != ErrNotSPD {
+		t.Fatalf("Extend on singular append: got %v, want ErrNotSPD", err)
+	}
+	if c.Size() != 1 || c.LAt(0, 0) != 2 {
+		t.Errorf("failed Extend modified the factor: size %d, L(0,0)=%g", c.Size(), c.LAt(0, 0))
+	}
+}
+
+func TestCholeskyExtendDimMismatchPanics(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Extend with wrong row length did not panic")
+		}
+	}()
+	c.Extend([]float64{1}, 5)
+}
+
+// TestCholeskyFactorizeReuse verifies refactorization into existing
+// storage: shrinking, growing, and recovering after an ErrNotSPD attempt.
+func TestCholeskyFactorizeReuse(t *testing.T) {
+	rng := stats.NewRNG(72)
+	c := &Cholesky{}
+	for _, n := range []int{8, 3, 12, 1, 20} {
+		a := randomSPD(rng, n)
+		if err := c.Factorize(a); err != nil {
+			t.Fatalf("Factorize n=%d: %v", n, err)
+		}
+		ref, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if c.LAt(i, j) != ref.LAt(i, j) {
+					t.Fatalf("n=%d: reused factor differs at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+	bad := NewMatrix(2, 2) // all zeros: not SPD
+	if err := c.Factorize(bad); err != ErrNotSPD {
+		t.Fatalf("Factorize on zero matrix: got %v, want ErrNotSPD", err)
+	}
+	if c.Size() != 0 {
+		t.Errorf("failed Factorize left size %d, want 0", c.Size())
+	}
+	good := randomSPD(rng, 5)
+	if err := c.Factorize(good); err != nil {
+		t.Fatalf("Factorize after failure: %v", err)
+	}
+}
+
+func TestSolveIntoMatchesAllocatingVariants(t *testing.T) {
+	rng := stats.NewRNG(73)
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + int(rng.Uint64n(20))
+		a := randomSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		dst := make([]float64, n)
+		if got, want := c.SolveVecInto(dst, b), c.SolveVec(b); !equalVecs(got, want) {
+			t.Fatalf("trial %d: SolveVecInto differs from SolveVec", trial)
+		}
+		if got, want := c.SolveLowerInto(dst, b), c.SolveLower(b); !equalVecs(got, want) {
+			t.Fatalf("trial %d: SolveLowerInto differs from SolveLower", trial)
+		}
+	}
+}
+
+func equalVecs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

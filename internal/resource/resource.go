@@ -168,6 +168,17 @@ func (s *Space) Validate(c Config) error {
 	return nil
 }
 
+// CopyFrom copies o's allocations into c's existing storage. The two
+// configurations must be shaped for the same space.
+func (c Config) CopyFrom(o Config) {
+	if len(c.Alloc) != len(o.Alloc) {
+		panic(fmt.Sprintf("resource: CopyFrom shape mismatch: %d vs %d resources", len(c.Alloc), len(o.Alloc)))
+	}
+	for r := range o.Alloc {
+		copy(c.Alloc[r], o.Alloc[r])
+	}
+}
+
 // Clone returns a deep copy of c.
 func (c Config) Clone() Config {
 	a := make([][]int, len(c.Alloc))
@@ -249,10 +260,17 @@ func (s *Space) EqualSplit() Config {
 // stars-and-bars bijection (choose M−1 distinct cut points among U−1).
 func (s *Space) Random(rng *stats.RNG) Config {
 	c := s.NewConfig()
+	s.RandomInto(rng, c)
+	return c
+}
+
+// RandomInto fills the already-shaped configuration c with a uniform
+// random sample, consuming exactly the same RNG draws as Random. It is the
+// allocation-free variant for hot loops that pool their configurations.
+func (s *Space) RandomInto(rng *stats.RNG, c Config) {
 	for r, res := range s.Resources {
 		randomComposition(rng, res.Units, s.Jobs, c.Alloc[r])
 	}
-	return c
 }
 
 // randomComposition fills out with a uniform composition of units into
@@ -263,10 +281,17 @@ func randomComposition(rng *stats.RNG, units, parts int, out []int) {
 		return
 	}
 	// Sample parts-1 distinct cut points from {1, ..., units-1} with a
-	// partial Fisher-Yates over the candidate positions.
+	// partial Fisher-Yates over the candidate positions. The position
+	// scratch lives on the stack for every realistic unit count.
 	n := units - 1
 	k := parts - 1
-	pos := make([]int, n)
+	var posArr [64]int
+	var pos []int
+	if n <= len(posArr) {
+		pos = posArr[:n]
+	} else {
+		pos = make([]int, n)
+	}
 	for i := range pos {
 		pos[i] = i + 1
 	}
@@ -360,14 +385,21 @@ func (s *Space) MaxDistance() float64 {
 // Vector encodes c as normalized resource shares in [0, 1]^Dim, the input
 // representation used by the Gaussian-process proxy model.
 func (s *Space) Vector(c Config) []float64 {
-	v := make([]float64, 0, s.Dim())
+	return s.VectorInto(make([]float64, 0, s.Dim()), c)
+}
+
+// VectorInto appends c's encoding into dst[:0] and returns the resulting
+// slice — the reuse-friendly variant of Vector for per-tick candidate
+// scoring.
+func (s *Space) VectorInto(dst []float64, c Config) []float64 {
+	dst = dst[:0]
 	for r, row := range c.Alloc {
 		units := float64(s.Resources[r].Units)
 		for _, u := range row {
-			v = append(v, float64(u)/units)
+			dst = append(dst, float64(u)/units)
 		}
 	}
-	return v
+	return dst
 }
 
 // Neighbors returns every configuration reachable from c by moving one
@@ -409,6 +441,22 @@ func (s *Space) Move(c Config, r, from, to int) (Config, bool) {
 	n.Alloc[r][from]--
 	n.Alloc[r][to]++
 	return n, true
+}
+
+// MoveInPlace applies the one-unit move directly to c, reporting whether
+// it was legal (same legality rules as Move). c is unchanged on an illegal
+// move.
+func (s *Space) MoveInPlace(c Config, r, from, to int) bool {
+	if r < 0 || r >= len(c.Alloc) || from == to ||
+		from < 0 || from >= s.Jobs || to < 0 || to >= s.Jobs {
+		return false
+	}
+	if c.Alloc[r][from] <= 1 {
+		return false
+	}
+	c.Alloc[r][from]--
+	c.Alloc[r][to]++
+	return true
 }
 
 // Imbalance returns the mean absolute deviation of c's unit shares from

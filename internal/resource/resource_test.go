@@ -435,3 +435,98 @@ func TestDimAndNewConfig(t *testing.T) {
 		t.Error("all-zero config passed validation")
 	}
 }
+
+// TestRandomIntoMatchesRandom pins the RNG-draw contract: the in-place
+// variant must produce the identical sample (and consume the identical
+// draw sequence) as the allocating one, so hot paths can switch to it
+// without perturbing seeded replays.
+func TestRandomIntoMatchesRandom(t *testing.T) {
+	s := testSpace(t)
+	rngA := stats.NewRNG(42)
+	rngB := stats.NewRNG(42)
+	dst := s.NewConfig()
+	for i := 0; i < 200; i++ {
+		want := s.Random(rngA)
+		s.RandomInto(rngB, dst)
+		if !dst.Equal(want) {
+			t.Fatalf("draw %d: RandomInto %v != Random %v", i, dst.Alloc, want.Alloc)
+		}
+	}
+	// Both streams must be in the same state afterwards.
+	if a, b := rngA.Intn(1<<30), rngB.Intn(1<<30); a != b {
+		t.Fatalf("RNG streams diverged: %d vs %d", a, b)
+	}
+}
+
+// TestMoveInPlaceMatchesMove: legality decisions and results must agree
+// with Move, and illegal moves must leave the config untouched.
+func TestMoveInPlaceMatchesMove(t *testing.T) {
+	s := testSpace(t)
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 300; trial++ {
+		c := s.Random(rng)
+		r := rng.Intn(len(s.Resources)+1) - 1 // include an out-of-range row
+		from := rng.Intn(s.Jobs + 1)
+		to := rng.Intn(s.Jobs)
+		moved, okWant := s.Move(c, r, from, to)
+		got := c.Clone()
+		ok := s.MoveInPlace(got, r, from, to)
+		if ok != okWant {
+			t.Fatalf("trial %d: legality mismatch: in-place %v vs Move %v", trial, ok, okWant)
+		}
+		if ok && !got.Equal(moved) {
+			t.Fatalf("trial %d: results differ: %v vs %v", trial, got.Alloc, moved.Alloc)
+		}
+		if !ok && !got.Equal(c) {
+			t.Fatalf("trial %d: illegal move mutated the config", trial)
+		}
+	}
+}
+
+// TestVectorIntoMatchesVector: the reuse variant must produce the same
+// encoding and not allocate once the buffer is warm.
+func TestVectorIntoMatchesVector(t *testing.T) {
+	s := testSpace(t)
+	rng := stats.NewRNG(9)
+	buf := make([]float64, 0, s.Dim())
+	for i := 0; i < 50; i++ {
+		c := s.Random(rng)
+		want := s.Vector(c)
+		buf = s.VectorInto(buf, c)
+		if len(buf) != len(want) {
+			t.Fatalf("length %d != %d", len(buf), len(want))
+		}
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("component %d: %g != %g", j, buf[j], want[j])
+			}
+		}
+	}
+	c := s.EqualSplit()
+	if n := testing.AllocsPerRun(50, func() { buf = s.VectorInto(buf, c) }); n != 0 {
+		t.Errorf("warm VectorInto allocates %v times per call", n)
+	}
+}
+
+// TestCopyFrom copies values, not aliases, and panics on shape mismatch.
+func TestCopyFrom(t *testing.T) {
+	s := testSpace(t)
+	rng := stats.NewRNG(11)
+	src := s.Random(rng)
+	dst := s.NewConfig()
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom did not copy values")
+	}
+	dst.Alloc[0][0]++
+	if dst.Equal(src) {
+		t.Fatal("CopyFrom aliased the source storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	bad := Config{Alloc: [][]int{{1}}}
+	bad.CopyFrom(src)
+}
