@@ -1,0 +1,173 @@
+package satori
+
+import (
+	"errors"
+	"testing"
+
+	"satori/internal/core"
+	"satori/internal/sim"
+)
+
+// churnSession builds a 2-job session whose policy is a SATORI engine,
+// optionally on the FullRefit proxy path, and runs it long enough to
+// accumulate GP observations.
+func churnSession(t *testing.T, fullRefit bool) *Session {
+	t.Helper()
+	jobs, err := Suite(SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(SessionConfig{
+		Workloads: jobs[:2],
+		Seed:      11,
+		Policy: func(p Platform) (Policy, error) {
+			return core.New(p.Space(), core.Options{Seed: 11, FullRefit: fullRefit})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sess
+}
+
+// testChurnReinit is the membership-change contract, shared by the
+// incremental and FullRefit engine paths: after AddWorkload /
+// RemoveWorkload the isolated baselines are re-measured at the new job
+// count, the engine is a fresh instance with an empty observation window
+// (no stale-job observations can leak into the GP — its inputs are
+// per-(resource, job) coordinates), and the next observation carries
+// BaselineReset.
+func testChurnReinit(t *testing.T, fullRefit bool) {
+	sess := churnSession(t, fullRefit)
+	jobs, err := Suite(SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before, ok := sess.pol.(*core.Engine)
+	if !ok {
+		t.Fatalf("policy is %T, want *core.Engine", sess.pol)
+	}
+	if before.Records().Len() == 0 {
+		t.Fatal("warm-up produced no observations; test is vacuous")
+	}
+
+	if err := sess.AddWorkload(jobs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if sess.NumJobs() != 3 || sess.SpaceInfo().Jobs != 3 {
+		t.Fatalf("job set after AddWorkload: %d jobs, space %d", sess.NumJobs(), sess.SpaceInfo().Jobs)
+	}
+	if len(sess.isolated) != 3 {
+		t.Fatalf("isolated baselines not re-measured: %d entries, want 3", len(sess.isolated))
+	}
+	after, ok := sess.pol.(*core.Engine)
+	if !ok {
+		t.Fatalf("rebuilt policy is %T, want *core.Engine", sess.pol)
+	}
+	if after == before {
+		t.Fatal("engine not rebuilt after AddWorkload")
+	}
+	if n := after.Records().Len(); n != 0 {
+		t.Fatalf("observation window not reset: %d stale records", n)
+	}
+	st, err := sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.BaselineReset {
+		t.Error("first observation after AddWorkload must carry BaselineReset")
+	}
+	if len(st.IPS) != 3 || len(st.Speedups) != 3 {
+		t.Fatalf("post-churn status not re-dimensioned: %d IPS", len(st.IPS))
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Departure path: same contract in the shrink direction.
+	shrinkBefore := sess.pol.(*core.Engine)
+	if err := sess.RemoveWorkload(1); err != nil {
+		t.Fatal(err)
+	}
+	if sess.NumJobs() != 2 || len(sess.isolated) != 2 {
+		t.Fatalf("after RemoveWorkload: %d jobs, %d baselines", sess.NumJobs(), len(sess.isolated))
+	}
+	shrinkAfter := sess.pol.(*core.Engine)
+	if shrinkAfter == shrinkBefore || shrinkAfter.Records().Len() != 0 {
+		t.Fatal("engine not freshly rebuilt after RemoveWorkload")
+	}
+	st, err = sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.BaselineReset || len(st.IPS) != 2 {
+		t.Fatalf("post-departure observation wrong: reset=%v len=%d", st.BaselineReset, len(st.IPS))
+	}
+}
+
+func TestChurnReinitIncremental(t *testing.T) { testChurnReinit(t, false) }
+func TestChurnReinitFullRefit(t *testing.T)   { testChurnReinit(t, true) }
+
+// TestChurnRejectsStaleConfig: a config captured before churn must be
+// rejected by the platform with the typed shape error, end to end
+// through the session's platform.
+func TestChurnRejectsStaleConfig(t *testing.T) {
+	sess := churnSession(t, false)
+	jobs, err := Suite(SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := sess.platform.Current()
+	if err := sess.AddWorkload(jobs[2]); err != nil {
+		t.Fatal(err)
+	}
+	var shapeErr *sim.ConfigShapeError
+	if err := sess.platform.Apply(stale); !errors.As(err, &shapeErr) {
+		t.Fatalf("stale config accepted after churn: %v", err)
+	}
+	// The session keeps stepping regardless: Step ignores a failed Apply
+	// and keeps the live configuration.
+	if _, err := sess.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChurnDefaultPolicyRebuild covers the default rebuild closure (no
+// custom factory): churn must rebuild the default engine on the live
+// space too.
+func TestChurnDefaultPolicyRebuild(t *testing.T) {
+	jobs, err := Suite(SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(SessionConfig{Workloads: jobs[:2], Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.AddWorkload(jobs[3]); err != nil {
+		t.Fatal(err)
+	}
+	eng, ok := sess.pol.(*core.Engine)
+	if !ok {
+		t.Fatalf("default rebuild produced %T", sess.pol)
+	}
+	if eng.Records().Len() != 0 {
+		t.Fatal("default rebuild kept stale observations")
+	}
+	if _, err := sess.Step(); err != nil {
+		t.Fatal(err)
+	}
+}

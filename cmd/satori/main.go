@@ -20,36 +20,6 @@ import (
 	"satori/internal/trace"
 )
 
-func policyFactory(name string, seed uint64) (func(satori.Platform) (satori.Policy, error), error) {
-	switch name {
-	case "satori":
-		return satori.NewSatoriPolicy(satori.EngineOptions{Seed: seed}), nil
-	case "satori-static":
-		return satori.NewStaticSatoriPolicy(0.5), nil
-	case "satori-throughput":
-		return satori.NewStaticSatoriPolicy(1), nil
-	case "satori-fairness":
-		return satori.NewStaticSatoriPolicy(0), nil
-	case "random":
-		return satori.NewRandomPolicy(seed), nil
-	case "static":
-		return satori.NewStaticPolicy(), nil
-	case "dcat":
-		return satori.NewDCATPolicy(), nil
-	case "copart":
-		return satori.NewCoPartPolicy(), nil
-	case "parties":
-		return satori.NewPARTIESPolicy(), nil
-	case "balanced-oracle":
-		return satori.NewOraclePolicy(satori.BalancedOracle), nil
-	case "throughput-oracle":
-		return satori.NewOraclePolicy(satori.ThroughputOracle), nil
-	case "fairness-oracle":
-		return satori.NewOraclePolicy(satori.FairnessOracle), nil
-	}
-	return nil, fmt.Errorf("unknown policy %q", name)
-}
-
 func main() {
 	workloadList := flag.String("workloads", "", "comma-separated benchmark names to co-locate")
 	profilesPath := flag.String("profiles", "", "JSON file of custom workload profiles to co-locate (see satori.SaveWorkloads)")
@@ -107,7 +77,7 @@ func main() {
 		log.Fatal("pass -workloads or -suite (see -h)")
 	}
 
-	factory, err := policyFactory(*policyName, *seed)
+	factory, err := satori.NewPolicyByName(*policyName, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}

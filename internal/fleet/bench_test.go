@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFleetTick measures one lockstep fleet tick across cluster
+// sizes and worker counts. The workers=N rows should beat workers=1 at
+// the same node count once nodes > 1 (the acceptance bar is >2x at
+// 8 nodes / 8 workers). Run with:
+//
+//	go test -bench FleetTick -benchtime 2s ./internal/fleet
+func BenchmarkFleetTick(b *testing.B) {
+	for _, cfg := range [][2]int{{1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 4}, {8, 1}, {8, 8}} {
+		nodes, workers := cfg[0], cfg[1]
+		name := fmt.Sprintf("nodes=%d/workers=%d", nodes, workers)
+		b.Run(name, func(b *testing.B) {
+			opt := Options{
+				Nodes:   nodes,
+				Seed:    42,
+				Workers: workers,
+				Stream: StreamOptions{
+					// Heavy arrivals so every node carries jobs and the
+					// tick cost is dominated by engine work, not churn.
+					ArrivalRate:  float64(nodes) * 2,
+					DurationMean: 1e6,
+					DurationMin:  1e6,
+					DurationMax:  1e6,
+				},
+			}
+			c, err := New(opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm up until every node is saturated, so the steady
+			// state being measured has maximal per-tick engine work.
+			if _, err := c.Run(60); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,421 @@
+// Package fleet scales the single-machine SATORI reproduction to a
+// deterministic multi-node cluster under job churn — the datacenter
+// setting the paper motivates (Sec. I) but does not evaluate.
+//
+// A Cluster runs N Nodes in lockstep 100 ms ticks. Each node is one
+// complete SATORI stack — a sim.Simulator behind an rdt.SimPlatform,
+// driven by its own policy engine through the top-level session API —
+// exactly the per-node decomposition POP (Narayanan et al.) shows is
+// near-optimal for large resource-allocation problems. A JobStream feeds
+// Poisson arrivals with bounded service times into a Placer, which picks
+// the node each job co-locates on; departures and arrivals trigger the
+// session layer's membership-change path (baseline re-measurement +
+// engine re-initialization on the re-dimensioned space).
+//
+// Determinism contract: every node derives all of its randomness from its
+// own seed (mixed from the fleet seed, node index and session
+// generation), the stream draws arrival/service/profile randomness from
+// its own RNG at arrival time, placement runs serially between ticks on
+// snapshots, and aggregation iterates nodes in index order. Node stepping
+// fans out on the harness's bounded worker pool, so any -workers value
+// produces byte-identical output; workers only change wall-clock time.
+package fleet
+
+import (
+	"fmt"
+
+	"satori"
+	"satori/internal/harness"
+	"satori/internal/metrics"
+	"satori/internal/sim"
+	"satori/internal/stats"
+	"satori/internal/trace"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Nodes is the cluster size (required, ≥ 1).
+	Nodes int
+	// Machine is the per-node hardware shape (default sim.DefaultMachine).
+	Machine *sim.MachineSpec
+	// Policy is the per-node partitioning policy, by registry name
+	// (default "satori"; see harness.PolicyNames).
+	Policy string
+	// Placer selects the admission strategy, by name (default
+	// "round-robin"; see PlacerNames).
+	Placer string
+	// Seed drives the whole fleet; equal seeds replay identically.
+	Seed uint64
+	// NoiseSigma forwards to each node's simulator (0 = default 2%,
+	// negative = noise-free).
+	NoiseSigma float64
+	// Stream tunes job churn. Stream.Seed defaults to Seed so one knob
+	// reproduces the whole run.
+	Stream StreamOptions
+	// MaxJobsPerNode caps co-location degree per node (default 5, the
+	// paper's PARSEC mix size; always clamped to what the machine can
+	// partition — one unit of every resource per job).
+	MaxJobsPerNode int
+	// Workers bounds the per-tick node-stepping pool, following the
+	// harness convention: 0 = one worker per CPU, 1 = serial.
+	Workers int
+}
+
+// node is one machine of the fleet: a session (nil while idle) plus the
+// jobs occupying its slots, in session slot order.
+type node struct {
+	id      int
+	machine sim.MachineSpec
+	jobs    []*Job
+	sess    *satori.Session
+	gen     int // session generations, for churn-independent seeding
+	last    satori.Status
+	hasLast bool // last is valid for the current job set
+}
+
+// Cluster is a fleet of nodes advanced in lockstep ticks.
+type Cluster struct {
+	opt     Options
+	machine sim.MachineSpec
+	maxJobs int
+	nodes   []*node
+	stream  *JobStream
+	placer  Placer
+	queue   []*Job // FIFO admission queue
+
+	ticks  int
+	series *trace.Series
+
+	accSum, accGeo, accJain stats.Welford
+	busyTicks               int
+	arrived, placed, done   int
+	maxQueue                int
+}
+
+// fleetColumns is the per-tick CSV schema.
+var fleetColumns = []string{
+	"tick", "time", "jobs", "queued", "arrivals", "departures",
+	"sumips", "geomean", "jain",
+}
+
+// New builds a cluster. Policy and placer names are resolved eagerly so
+// typos fail before any simulation state exists.
+func New(opt Options) (*Cluster, error) {
+	if opt.Nodes < 1 {
+		return nil, fmt.Errorf("fleet: Options.Nodes must be >= 1, got %d", opt.Nodes)
+	}
+	if opt.Policy == "" {
+		opt.Policy = "satori"
+	}
+	if opt.Placer == "" {
+		opt.Placer = "round-robin"
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Stream.Seed == 0 {
+		opt.Stream.Seed = opt.Seed
+	}
+	// Resolve the policy once for validation; nodes rebuild per session
+	// with their own seeds.
+	if _, err := satori.NewPolicyByName(opt.Policy, 1); err != nil {
+		return nil, err
+	}
+	placer, err := PlacerByName(opt.Placer)
+	if err != nil {
+		return nil, err
+	}
+	machine := sim.DefaultMachine()
+	if opt.Machine != nil {
+		machine = *opt.Machine
+	}
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	stream, err := NewJobStream(opt.Stream)
+	if err != nil {
+		return nil, err
+	}
+	maxJobs := opt.MaxJobsPerNode
+	if maxJobs <= 0 {
+		maxJobs = 5
+	}
+	// A node can partition at most min(units) jobs — every job needs one
+	// unit of every resource.
+	hardCap := machine.Cores
+	if machine.LLCWays < hardCap {
+		hardCap = machine.LLCWays
+	}
+	if machine.MemBWUnits < hardCap {
+		hardCap = machine.MemBWUnits
+	}
+	if machine.PowerUnits > 0 && machine.PowerUnits < hardCap {
+		hardCap = machine.PowerUnits
+	}
+	if maxJobs > hardCap {
+		maxJobs = hardCap
+	}
+	c := &Cluster{
+		opt:     opt,
+		machine: machine,
+		maxJobs: maxJobs,
+		stream:  stream,
+		placer:  placer,
+		series:  trace.NewSeries(fleetColumns...),
+	}
+	for i := 0; i < opt.Nodes; i++ {
+		c.nodes = append(c.nodes, &node{id: i, machine: machine})
+	}
+	return c, nil
+}
+
+// nodeSeed mixes the fleet seed with a node's identity and session
+// generation (splitmix64 finalizer), so node sessions draw independent
+// streams that do not depend on placement history elsewhere in the fleet.
+func nodeSeed(base uint64, id, gen int) uint64 {
+	x := base + 0x9E3779B97F4A7C15*uint64(id+1) + 0xD1B54A32D192ED03*uint64(gen+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // the session layer maps seed 0 to 1; keep streams distinct
+	}
+	return x
+}
+
+// TickStats is one tick's fleet-level outcome.
+type TickStats struct {
+	// Tick counts completed lockstep intervals; Time is Tick in seconds.
+	Tick int
+	Time float64
+	// Running and Queued are the job counts after this tick's churn.
+	Running, Queued int
+	// Arrivals and Departures count this tick's churn events.
+	Arrivals, Departures int
+	// SumIPS is the fleet-wide sum of per-job IPS this tick.
+	SumIPS float64
+	// GeoMeanSpeedup is the geometric mean speedup over all running jobs.
+	GeoMeanSpeedup float64
+	// Jain is Jain's fairness index over all running jobs' speedups
+	// (1 when the fleet is empty).
+	Jain float64
+}
+
+// Step advances the whole fleet one 100 ms tick: process departures, pop
+// and place arrivals, step every node (in parallel on the worker pool),
+// then aggregate fleet metrics in node order.
+func (c *Cluster) Step() (TickStats, error) {
+	now := float64(c.ticks) * sim.TickSeconds
+	st := TickStats{Tick: c.ticks + 1, Time: now + sim.TickSeconds}
+
+	// (1) Departures: evict every job whose service time has elapsed.
+	// Slots are removed in descending order so indices stay valid; the
+	// session's membership path re-measures baselines and rebuilds the
+	// engine on the shrunken space.
+	for _, n := range c.nodes {
+		for slot := len(n.jobs) - 1; slot >= 0; slot-- {
+			if n.jobs[slot].Departs > now+1e-9 {
+				continue
+			}
+			if err := n.evict(slot); err != nil {
+				return st, fmt.Errorf("fleet: node %d evict: %w", n.id, err)
+			}
+			st.Departures++
+			c.done++
+		}
+	}
+
+	// (2) Arrivals enter the FIFO queue.
+	arrivals := c.stream.ArrivalsUntil(now)
+	st.Arrivals = len(arrivals)
+	c.arrived += len(arrivals)
+	c.queue = append(c.queue, arrivals...)
+
+	// (3) Placement: strict FIFO — every job needs exactly one slot, so
+	// if the head cannot be placed, no queued job can.
+	for len(c.queue) > 0 {
+		idx := c.placer.Place(c.queue[0], c.views())
+		if idx < 0 {
+			break
+		}
+		if err := c.nodes[idx].admit(c.queue[0], now, c.opt); err != nil {
+			return st, fmt.Errorf("fleet: node %d admit: %w", idx, err)
+		}
+		c.queue = c.queue[1:]
+		c.placed++
+	}
+	if len(c.queue) > c.maxQueue {
+		c.maxQueue = len(c.queue)
+	}
+
+	// (4) Lockstep node tick on the bounded worker pool. Each node only
+	// touches its own state; ForEach guarantees the lowest-index error.
+	if err := harness.ForEach(c.opt.Workers, len(c.nodes), func(i int) error {
+		return c.nodes[i].step()
+	}); err != nil {
+		return st, err
+	}
+	c.ticks++
+
+	// (5) Fleet aggregation, strictly in node order.
+	var ips, speedups []float64
+	for _, n := range c.nodes {
+		st.Running += len(n.jobs)
+		if !n.hasLast {
+			continue
+		}
+		ips = append(ips, n.last.IPS...)
+		speedups = append(speedups, n.last.Speedups...)
+	}
+	st.Queued = len(c.queue)
+	st.SumIPS = stats.Sum(ips)
+	st.GeoMeanSpeedup = stats.GeoMean(speedups)
+	st.Jain = 1.0
+	if len(speedups) > 0 {
+		st.Jain = metrics.Jain(speedups)
+		c.accSum.Add(st.SumIPS)
+		c.accGeo.Add(st.GeoMeanSpeedup)
+		c.accJain.Add(st.Jain)
+		c.busyTicks++
+	}
+	c.series.Add(float64(st.Tick), st.Time, float64(st.Running), float64(st.Queued),
+		float64(st.Arrivals), float64(st.Departures), st.SumIPS, st.GeoMeanSpeedup, st.Jain)
+	return st, nil
+}
+
+// Run advances n ticks, returning the last tick's stats.
+func (c *Cluster) Run(n int) (TickStats, error) {
+	var last TickStats
+	var err error
+	for i := 0; i < n; i++ {
+		last, err = c.Step()
+		if err != nil {
+			return last, err
+		}
+	}
+	return last, nil
+}
+
+// views snapshots every node for the placer.
+func (c *Cluster) views() []NodeView {
+	out := make([]NodeView, len(c.nodes))
+	for i, n := range c.nodes {
+		v := NodeView{ID: i, Jobs: len(n.jobs), Capacity: c.maxJobs, Cores: c.machine.Cores}
+		if n.hasLast {
+			v.Speedups = n.last.Speedups
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Series returns the per-tick fleet trace (CSV via trace.Series).
+func (c *Cluster) Series() *trace.Series { return c.series }
+
+// Ticks returns the number of completed fleet ticks.
+func (c *Cluster) Ticks() int { return c.ticks }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Summary aggregates a fleet run.
+type Summary struct {
+	// Ticks is the number of completed intervals; BusyTicks counts those
+	// with at least one running job (the means below average over them).
+	Ticks, BusyTicks int
+	// Arrived, Placed and Departed count stream jobs over the run.
+	Arrived, Placed, Departed int
+	// Running and Queued are the current job counts.
+	Running, Queued int
+	// MaxQueue is the high-water mark of the admission queue.
+	MaxQueue int
+	// MeanSumIPS, MeanGeoMean and MeanJain are busy-tick averages of the
+	// fleet metrics.
+	MeanSumIPS, MeanGeoMean, MeanJain float64
+}
+
+// Summary returns the running aggregate.
+func (c *Cluster) Summary() Summary {
+	s := Summary{
+		Ticks: c.ticks, BusyTicks: c.busyTicks,
+		Arrived: c.arrived, Placed: c.placed, Departed: c.done,
+		Queued: len(c.queue), MaxQueue: c.maxQueue,
+		MeanSumIPS: c.accSum.Mean(), MeanGeoMean: c.accGeo.Mean(), MeanJain: c.accJain.Mean(),
+	}
+	for _, n := range c.nodes {
+		s.Running += len(n.jobs)
+	}
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("ticks=%d jobs arrived=%d placed=%d departed=%d running=%d queued=%d (peak %d) | sumips=%.3g geomean=%.3f jain=%.3f",
+		s.Ticks, s.Arrived, s.Placed, s.Departed, s.Running, s.Queued, s.MaxQueue,
+		s.MeanSumIPS, s.MeanGeoMean, s.MeanJain)
+}
+
+// admit places job on the node at time now: the first job of an idle node
+// boots a fresh session; later jobs go through the session layer's
+// AddWorkload churn path (re-split, baseline re-measurement, engine
+// re-initialization).
+func (n *node) admit(job *Job, now float64, opt Options) error {
+	if len(n.jobs) == 0 {
+		seed := nodeSeed(opt.Seed, n.id, n.gen)
+		n.gen++
+		factory, err := satori.NewPolicyByName(opt.Policy, seed)
+		if err != nil {
+			return err
+		}
+		sess, err := satori.NewSession(satori.SessionConfig{
+			Machine:    &n.machine,
+			Workloads:  []*satori.Workload{job.Profile},
+			Policy:     factory,
+			Seed:       seed,
+			NoiseSigma: opt.NoiseSigma,
+		})
+		if err != nil {
+			return err
+		}
+		n.sess = sess
+	} else {
+		if err := n.sess.AddWorkload(job.Profile); err != nil {
+			return err
+		}
+	}
+	job.Node = n.id
+	job.PlacedAt = now
+	job.Departs = now + job.Duration
+	n.jobs = append(n.jobs, job)
+	n.hasLast = false // membership changed; last tick's arrays are stale
+	return nil
+}
+
+// evict removes the job in the given slot; the last job tears the whole
+// session down (a machine with zero jobs has no configuration space).
+func (n *node) evict(slot int) error {
+	if len(n.jobs) == 1 {
+		n.sess = nil
+	} else if err := n.sess.RemoveWorkload(slot); err != nil {
+		return err
+	}
+	n.jobs = append(n.jobs[:slot], n.jobs[slot+1:]...)
+	n.hasLast = false
+	return nil
+}
+
+// step advances the node one 100 ms tick; idle nodes are a no-op.
+func (n *node) step() error {
+	if n.sess == nil {
+		return nil
+	}
+	st, err := n.sess.Step()
+	if err != nil {
+		return err
+	}
+	n.last = st
+	n.hasLast = true
+	return nil
+}

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeView is the read-only snapshot of one node a Placer decides from.
+// Snapshots are taken between ticks (never during the parallel step
+// phase), so placers see a consistent, deterministic fleet state.
+type NodeView struct {
+	// ID is the node index.
+	ID int
+	// Jobs is the number of jobs currently running on the node.
+	Jobs int
+	// Capacity is the node's admission limit.
+	Capacity int
+	// Cores is the node's physical core count.
+	Cores int
+	// Speedups holds the node's last-tick per-job speedups, or nil when
+	// the node has not completed a tick with its current job set (fresh
+	// node, or membership changed since the last tick). Treat as
+	// read-only.
+	Speedups []float64
+}
+
+// free reports whether the node can admit one more job.
+func (v NodeView) free() bool { return v.Jobs < v.Capacity }
+
+// Placer chooses the node an incoming job is admitted to. Place returns
+// the node index, or -1 when no node has capacity (the job stays queued).
+// Implementations must be deterministic functions of (job, nodes).
+type Placer interface {
+	Name() string
+	Place(job *Job, nodes []NodeView) int
+}
+
+// RoundRobin cycles through nodes in index order, skipping full ones —
+// the classic baseline placement.
+type RoundRobin struct{ cursor int }
+
+// Name implements Placer.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Placer.
+func (p *RoundRobin) Place(_ *Job, nodes []NodeView) int {
+	for i := 0; i < len(nodes); i++ {
+		idx := (p.cursor + i) % len(nodes)
+		if nodes[idx].free() {
+			p.cursor = idx + 1
+			return idx
+		}
+	}
+	return -1
+}
+
+// LeastLoadedCores admits the job to the node with the fewest jobs per
+// physical core, ties broken by lowest node index — a load balancer that
+// sees machine size but not performance.
+type LeastLoadedCores struct{}
+
+// Name implements Placer.
+func (LeastLoadedCores) Name() string { return "least-loaded" }
+
+// Place implements Placer.
+func (LeastLoadedCores) Place(_ *Job, nodes []NodeView) int {
+	best := -1
+	bestLoad := 0.0
+	for _, v := range nodes {
+		if !v.free() {
+			continue
+		}
+		load := float64(v.Jobs) / float64(v.Cores)
+		if best < 0 || load < bestLoad {
+			best, bestLoad = v.ID, load
+		}
+	}
+	return best
+}
+
+// FairnessAware admits the job to the node where it least depresses the
+// predicted fleet-wide Jain's index. The prediction is model-light: a
+// node running k jobs that admits one more re-splits its partition, so
+// each resident job's speedup is scaled by k/(k+1) and the newcomer is
+// predicted at 1/(k+1) (its equal share of the machine); nodes that have
+// not reported speedups yet are assumed at their equal split. The placer
+// then scores the Jain's index over every running job fleet-wide plus the
+// newcomer, and picks the argmax (ties: lowest node index).
+type FairnessAware struct{}
+
+// Name implements Placer.
+func (FairnessAware) Name() string { return "fairness" }
+
+// Place implements Placer.
+func (FairnessAware) Place(_ *Job, nodes []NodeView) int {
+	best := -1
+	bestJain := 0.0
+	for _, cand := range nodes {
+		if !cand.free() {
+			continue
+		}
+		jain := predictedJain(nodes, cand.ID)
+		if best < 0 || jain > bestJain+1e-12 {
+			best, bestJain = cand.ID, jain
+		}
+	}
+	return best
+}
+
+// predictedJain scores the fleet's Jain index if the incoming job joined
+// node cand.
+func predictedJain(nodes []NodeView, cand int) float64 {
+	var sum, sumSq float64
+	n := 0
+	add := func(s float64) {
+		sum += s
+		sumSq += s * s
+		n++
+	}
+	for _, v := range nodes {
+		scale := 1.0
+		if v.ID == cand {
+			scale = float64(v.Jobs) / float64(v.Jobs+1)
+		}
+		if len(v.Speedups) == v.Jobs {
+			for _, s := range v.Speedups {
+				add(s * scale)
+			}
+		} else {
+			// No fresh measurement: assume the equal split's 1/k share.
+			for j := 0; j < v.Jobs; j++ {
+				add(scale / float64(v.Jobs))
+			}
+		}
+		if v.ID == cand {
+			add(1 / float64(v.Jobs+1)) // the newcomer's predicted share
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	// Jain = (Σs)² / (n·Σs²), the 1/(1+CoV²) identity.
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// placerRegistry mirrors the policy registry's shape: one shared
+// name→constructor table for every front-end.
+var placerRegistry = map[string]func() Placer{
+	"round-robin":  func() Placer { return &RoundRobin{} },
+	"least-loaded": func() Placer { return LeastLoadedCores{} },
+	"fairness":     func() Placer { return FairnessAware{} },
+}
+
+// PlacerNames lists every registered placer, sorted.
+func PlacerNames() []string {
+	names := make([]string, 0, len(placerRegistry))
+	for name := range placerRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PlacerByName resolves a placer name, erroring with the sorted list of
+// valid names on unknown input.
+func PlacerByName(name string) (Placer, error) {
+	ctor, ok := placerRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown placer %q (valid: %s)",
+			name, strings.Join(PlacerNames(), ", "))
+	}
+	return ctor(), nil
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"satori/internal/sim"
+	"satori/internal/stats"
+	"satori/internal/workloads"
+)
+
+// Job is one unit of the fleet's workload: a benchmark profile that
+// arrives, runs co-located on some node for its service time, and
+// departs. Arrival times, service times and profiles are all drawn
+// deterministically from the stream's RNG, so a fleet run replays
+// identically from its seed regardless of placement or worker count.
+type Job struct {
+	// ID numbers jobs in arrival order, from 1.
+	ID int
+	// Profile is the workload the job runs.
+	Profile *sim.Profile
+	// Arrival is the simulated time the job entered the system.
+	Arrival float64
+	// Duration is the service time once placed, in simulated seconds.
+	Duration float64
+
+	// Node is the node the job runs on (-1 while queued).
+	Node int
+	// PlacedAt is when the job was admitted to its node.
+	PlacedAt float64
+	// Departs is PlacedAt + Duration: the job leaves at the start of the
+	// first tick at or past this time.
+	Departs float64
+}
+
+// StreamOptions tunes the job stream.
+type StreamOptions struct {
+	// Seed drives arrivals, service times and profile choice.
+	Seed uint64
+	// ArrivalRate is the fleet-wide Poisson arrival rate in jobs per
+	// simulated second (default 0.5).
+	ArrivalRate float64
+	// DurationMean is the mean service time in seconds (default 30);
+	// draws are exponential, truncated to [DurationMin, DurationMax]
+	// (defaults 5 and 120) so no job is instantaneous or immortal.
+	DurationMean float64
+	DurationMin  float64
+	DurationMax  float64
+	// Profiles is the workload pool jobs draw from uniformly (default:
+	// the PARSEC suite of workloads.go).
+	Profiles []*sim.Profile
+}
+
+func (o *StreamOptions) fill() {
+	if o.ArrivalRate <= 0 {
+		o.ArrivalRate = 0.5
+	}
+	if o.DurationMean <= 0 {
+		o.DurationMean = 30
+	}
+	if o.DurationMin <= 0 {
+		o.DurationMin = 5
+	}
+	if o.DurationMax <= 0 {
+		o.DurationMax = 120
+	}
+	if len(o.Profiles) == 0 {
+		o.Profiles = workloads.PARSEC()
+	}
+}
+
+// JobStream generates the fleet's deterministic job churn: Poisson
+// arrivals (exponential inter-arrival gaps) with bounded exponential
+// service times and uniformly drawn workload profiles.
+type JobStream struct {
+	opt    StreamOptions
+	rng    *stats.RNG
+	nextAt float64 // arrival time of the next job, already drawn
+	nextID int
+}
+
+// NewJobStream builds a stream; options are validated and defaulted.
+func NewJobStream(opt StreamOptions) (*JobStream, error) {
+	opt.fill()
+	if opt.DurationMin > opt.DurationMax {
+		return nil, fmt.Errorf("fleet: DurationMin %g > DurationMax %g", opt.DurationMin, opt.DurationMax)
+	}
+	for _, p := range opt.Profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	s := &JobStream{
+		opt:    opt,
+		rng:    stats.NewRNG(opt.Seed ^ 0xF1EE7),
+		nextID: 1,
+	}
+	s.nextAt = s.gap()
+	return s, nil
+}
+
+// gap draws one exponential inter-arrival interval.
+func (s *JobStream) gap() float64 {
+	// -ln(1-U)/λ; U < 1 always, so the log argument is positive.
+	return -math.Log(1-s.rng.Float64()) / s.opt.ArrivalRate
+}
+
+// duration draws one truncated-exponential service time.
+func (s *JobStream) duration() float64 {
+	d := -s.opt.DurationMean * math.Log(1-s.rng.Float64())
+	if d < s.opt.DurationMin {
+		d = s.opt.DurationMin
+	}
+	if d > s.opt.DurationMax {
+		d = s.opt.DurationMax
+	}
+	return d
+}
+
+// ArrivalsUntil pops every job whose arrival time is at or before now.
+// Each job's service time and profile are drawn at arrival, so downstream
+// placement decisions can never perturb the stream's draw sequence.
+func (s *JobStream) ArrivalsUntil(now float64) []*Job {
+	var out []*Job
+	for s.nextAt <= now {
+		out = append(out, &Job{
+			ID:       s.nextID,
+			Profile:  s.opt.Profiles[s.rng.Intn(len(s.opt.Profiles))],
+			Arrival:  s.nextAt,
+			Duration: s.duration(),
+			Node:     -1,
+		})
+		s.nextID++
+		s.nextAt += s.gap()
+	}
+	return out
+}

@@ -55,12 +55,12 @@ type Incremental struct {
 	ls     float64 // heuristic length scale backing kernel
 	vr     float64 // heuristic signal variance backing kernel
 
-	n     int
-	dim   int
-	xbuf  [][]float64 // owned input copies; len >= n
-	mean  float64
-	alpha []float64
-	chol  *linalg.Cholesky
+	n      int
+	dim    int
+	xbuf   [][]float64 // owned input copies; len >= n
+	mean   float64
+	alpha  []float64
+	chol   *linalg.Cholesky
 	jitter float64
 
 	stats IncrementalStats

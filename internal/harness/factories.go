@@ -103,15 +103,18 @@ type NamedFactory struct {
 
 // CompetingPolicies returns the paper's Fig. 7 line-up: Random, dCAT,
 // CoPart, PARTIES, SATORI (the Balanced Oracle reference is run
-// separately as the normalization ceiling).
+// separately as the normalization ceiling). The factories come from the
+// shared name registry so every front-end builds identical policies.
 func CompetingPolicies() []NamedFactory {
-	return []NamedFactory{
-		{Name: "random", Factory: RandomFactory()},
-		{Name: "dcat", Factory: DCATFactory()},
-		{Name: "copart", Factory: CoPartFactory()},
-		{Name: "parties", Factory: PARTIESFactory()},
-		{Name: "satori", Factory: SatoriFactory(core.Options{})},
+	out := make([]NamedFactory, 0, 5)
+	for _, name := range []string{"random", "dcat", "copart", "parties", "satori"} {
+		f, err := PolicyByName(name)
+		if err != nil {
+			panic(err) // unreachable: the names above are registered statically
+		}
+		out = append(out, NamedFactory{Name: name, Factory: f})
 	}
+	return out
 }
 
 // SatoriOnly restricts SATORI to a subset of resources (the Sec. V

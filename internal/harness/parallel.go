@@ -59,6 +59,13 @@ func splitWorkers(workers, n int) (outer, inner int) {
 	return outer, inner
 }
 
+// ForEach is the exported bounded worker pool, for other subsystems that
+// fan out over independent, index-addressed units under the same
+// determinism contract (internal/fleet steps its nodes with it).
+func ForEach(workers, n int, fn func(i int) error) error {
+	return forEach(workers, n, fn)
+}
+
 // forEach runs fn(i) for every i in [0, n) on a bounded pool of workers
 // and returns the lowest-index error (matching the serial path, which
 // stops at the first failing index). Each fn must write its output into

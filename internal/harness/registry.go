@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"satori/internal/core"
+	"satori/internal/policies/oracle"
+)
+
+// policyRegistry is the single name→factory table shared by every
+// front-end (cmd/satori, cmd/fleet, cmd/experiments via the harness, and
+// the library's satori.NewPolicyByName). Each entry is a constructor so
+// option structs are built fresh per lookup and never shared between
+// concurrent runs.
+var policyRegistry = map[string]func() PolicyFactory{
+	"satori":            func() PolicyFactory { return SatoriFactory(core.Options{}) },
+	"satori-static":     func() PolicyFactory { return SatoriStaticFactory(0.5) },
+	"satori-throughput": func() PolicyFactory { return SatoriStaticFactory(1) },
+	"satori-fairness":   func() PolicyFactory { return SatoriStaticFactory(0) },
+	"clite":             CLITEFactory,
+	"random":            RandomFactory,
+	"static":            StaticFactory,
+	"dcat":              DCATFactory,
+	"copart":            CoPartFactory,
+	"parties":           PARTIESFactory,
+	"balanced-oracle":   func() PolicyFactory { return OracleFactory(oracle.Balanced, oracle.Options{}) },
+	"throughput-oracle": func() PolicyFactory { return OracleFactory(oracle.Throughput, oracle.Options{}) },
+	"fairness-oracle":   func() PolicyFactory { return OracleFactory(oracle.Fairness, oracle.Options{}) },
+}
+
+// PolicyNames lists every registered policy name, sorted.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyRegistry))
+	for name := range policyRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PolicyByName resolves a policy name to a fresh factory. Unknown names
+// error with the sorted list of valid names.
+func PolicyByName(name string) (PolicyFactory, error) {
+	ctor, ok := policyRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown policy %q (valid: %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+	return ctor(), nil
+}

@@ -193,8 +193,13 @@ func NewSimPlatform(s *sim.Simulator) (*SimPlatform, error) {
 func (p *SimPlatform) Space() *resource.Space { return p.sim.Space() }
 
 // Apply implements Platform: it compiles and validates the hardware plan,
-// then installs the configuration in the simulator.
+// then installs the configuration in the simulator. A configuration shaped
+// for a different job set (stale after AddJob/RemoveJob churn) surfaces as
+// the simulator's typed *sim.ConfigShapeError before compilation.
 func (p *SimPlatform) Apply(c resource.Config) error {
+	if err := p.sim.CheckShape(c); err != nil {
+		return err
+	}
 	plan, err := Compile(p.sim.Space(), c)
 	if err != nil {
 		return err
@@ -237,3 +242,16 @@ func (p *SimPlatform) JobNames() []string {
 // Simulator exposes the wrapped simulator for oracle-style callers that
 // need noise-free model access.
 func (p *SimPlatform) Simulator() *sim.Simulator { return p.sim }
+
+// Resync recompiles the hardware plan from the simulator's live space and
+// current configuration. It must be called after job membership churn
+// (sim.AddJob/RemoveJob): the space changed dimension, so the cached plan
+// describes a partition of a job set that no longer exists.
+func (p *SimPlatform) Resync() error {
+	plan, err := Compile(p.sim.Space(), p.sim.Current())
+	if err != nil {
+		return err
+	}
+	p.plan = plan
+	return nil
+}

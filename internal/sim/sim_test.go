@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -600,3 +601,134 @@ func (r *rngShim) next() uint64 {
 
 func (r *rngShim) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
 func (r *rngShim) Intn(n int) int   { return int(r.next() % uint64(n)) }
+
+func TestAddJob(t *testing.T) {
+	s := newTestSim(t, 2, Options{NoiseSigma: -1})
+	for i := 0; i < 20; i++ {
+		s.Step()
+	}
+	appliesBefore := s.Applies()
+	spaceBefore := s.Space()
+	if err := s.AddJob(testProfile("j2")); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumJobs() != 3 || s.JobName(2) != "j2" {
+		t.Fatalf("job set after AddJob: %d jobs, last %q", s.NumJobs(), s.JobName(s.NumJobs()-1))
+	}
+	if s.Space() == spaceBefore || s.Space().Jobs != 3 {
+		t.Fatal("space was not re-dimensioned")
+	}
+	// Churn counts as a reconfiguration (hardware rewrites every COS)
+	// and resets the partition to the new equal split.
+	if s.Applies() != appliesBefore+1 {
+		t.Errorf("applies %d, want %d", s.Applies(), appliesBefore+1)
+	}
+	want := s.Space().EqualSplit()
+	if got := s.Current(); !got.Equal(want) {
+		t.Errorf("current after AddJob = %v, want equal split %v", got, want)
+	}
+	sample := s.Step()
+	if len(sample.IPS) != 3 || sample.IPS[2] <= 0 {
+		t.Fatalf("new job does not run: %v", sample.IPS)
+	}
+	if got := s.ExactIsolated(); len(got) != 3 {
+		t.Fatalf("isolated baselines not re-dimensioned: %d", len(got))
+	}
+}
+
+func TestRemoveJob(t *testing.T) {
+	s := newTestSim(t, 3, Options{NoiseSigma: -1})
+	if err := s.RemoveJob(1); err != nil {
+		t.Fatal(err)
+	}
+	// Jobs above the evicted slot shift down.
+	if s.NumJobs() != 2 || s.JobName(0) != "j0" || s.JobName(1) != "j2" {
+		t.Fatalf("job set after RemoveJob: %d jobs, %q/%q", s.NumJobs(), s.JobName(0), s.JobName(1))
+	}
+	if s.Space().Jobs != 2 {
+		t.Fatal("space was not re-dimensioned")
+	}
+	sample := s.Step()
+	if len(sample.IPS) != 2 {
+		t.Fatalf("sample not re-dimensioned: %v", sample.IPS)
+	}
+}
+
+func TestRemoveJobValidation(t *testing.T) {
+	s := newTestSim(t, 2, Options{})
+	if err := s.RemoveJob(2); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := s.RemoveJob(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := s.RemoveJob(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveJob(0); err == nil {
+		t.Error("removing the last job must be refused")
+	}
+	if s.NumJobs() != 1 {
+		t.Errorf("failed RemoveJob mutated state: %d jobs", s.NumJobs())
+	}
+}
+
+func TestAddJobValidation(t *testing.T) {
+	s := newTestSim(t, 2, Options{})
+	bad := testProfile("bad")
+	bad.Phases[0].IPSPeak = -1
+	if err := s.AddJob(bad); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if s.NumJobs() != 2 {
+		t.Errorf("failed AddJob mutated state: %d jobs", s.NumJobs())
+	}
+	// Growing past the machine's units must fail without side effects:
+	// DefaultMachine has 10 cores, so an 11th job has no valid split.
+	for s.NumJobs() < 10 {
+		if err := s.AddJob(testProfile("filler")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddJob(testProfile("one-too-many")); err == nil {
+		t.Error("over-capacity AddJob accepted")
+	}
+	if s.NumJobs() != 10 || s.Space().Jobs != 10 {
+		t.Errorf("failed AddJob mutated state: %d jobs, space %d", s.NumJobs(), s.Space().Jobs)
+	}
+}
+
+// TestApplyRejectsStaleShapedConfig is the churn-safety regression: a
+// configuration decided for the old job set must be rejected with a
+// typed *ConfigShapeError after AddJob/RemoveJob, not silently
+// misallocated.
+func TestApplyRejectsStaleShapedConfig(t *testing.T) {
+	s := newTestSim(t, 2, Options{NoiseSigma: -1})
+	stale := s.Space().EqualSplit()
+	if err := s.Apply(stale); err != nil {
+		t.Fatalf("fresh config rejected: %v", err)
+	}
+	if err := s.AddJob(testProfile("j2")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Apply(stale)
+	var shapeErr *ConfigShapeError
+	if !errors.As(err, &shapeErr) {
+		t.Fatalf("stale config after AddJob: got %v, want *ConfigShapeError", err)
+	}
+	if shapeErr.ConfigJobs != 2 || shapeErr.SpaceJobs != 3 {
+		t.Errorf("shape error dims = %+v", shapeErr)
+	}
+	// The shrink direction too.
+	stale3 := s.Space().EqualSplit()
+	if err := s.RemoveJob(2); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.As(s.Apply(stale3), &shapeErr) {
+		t.Fatalf("stale config after RemoveJob not rejected")
+	}
+	// A correctly re-shaped config is accepted.
+	if err := s.Apply(s.Space().EqualSplit()); err != nil {
+		t.Fatalf("fresh config after churn rejected: %v", err)
+	}
+}

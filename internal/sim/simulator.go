@@ -112,10 +112,62 @@ func (s *Simulator) Applies() int { return s.applies }
 // Current returns (a copy of) the active configuration.
 func (s *Simulator) Current() resource.Config { return s.current.Clone() }
 
+// ConfigShapeError reports an Apply (or shape check) of a configuration
+// whose dimensions do not match the live job set — the typical symptom of
+// a policy holding a configuration from before an AddJob/RemoveJob churn
+// event. It is typed so callers can distinguish "stale decision, rebuild
+// the policy" from a genuinely malformed allocation.
+type ConfigShapeError struct {
+	// ConfigResources and SpaceResources are the resource-row counts of
+	// the rejected configuration and the live space.
+	ConfigResources, SpaceResources int
+	// ConfigJobs and SpaceJobs are the job dimensions (ConfigJobs is the
+	// first mismatching row's length).
+	ConfigJobs, SpaceJobs int
+}
+
+// Error implements error.
+func (e *ConfigShapeError) Error() string {
+	return fmt.Sprintf("sim: config shape %dx%d does not match live space %dx%d (stale after job churn?)",
+		e.ConfigResources, e.ConfigJobs, e.SpaceResources, e.SpaceJobs)
+}
+
+// CheckShape reports a *ConfigShapeError when c's dimensions do not match
+// the live space (e.g. a configuration decided before AddJob/RemoveJob
+// changed the job set), and nil when the shape is current. It checks only
+// dimensions, not allocation sums — Apply still runs full validation.
+func (s *Simulator) CheckShape(c resource.Config) error {
+	shapeErr := &ConfigShapeError{
+		ConfigResources: len(c.Alloc),
+		SpaceResources:  len(s.space.Resources),
+		ConfigJobs:      s.space.Jobs,
+		SpaceJobs:       s.space.Jobs,
+	}
+	if len(c.Alloc) != len(s.space.Resources) {
+		if len(c.Alloc) > 0 {
+			shapeErr.ConfigJobs = len(c.Alloc[0])
+		}
+		return shapeErr
+	}
+	for _, row := range c.Alloc {
+		if len(row) != s.space.Jobs {
+			shapeErr.ConfigJobs = len(row)
+			return shapeErr
+		}
+	}
+	return nil
+}
+
 // Apply installs a new resource partitioning configuration, taking effect
 // from the next Step. Identical configurations are deduplicated (real
-// CAT/MBA MSR writes are skipped when nothing changes).
+// CAT/MBA MSR writes are skipped when nothing changes). A configuration
+// shaped for a different job set (stale after AddJob/RemoveJob) is
+// rejected with a typed *ConfigShapeError rather than silently
+// misallocating.
 func (s *Simulator) Apply(c resource.Config) error {
+	if err := s.CheckShape(c); err != nil {
+		return err
+	}
 	if err := s.space.Validate(c); err != nil {
 		return err
 	}
@@ -146,6 +198,61 @@ func (s *Simulator) ReplaceJob(j int, p *Profile) error {
 	}
 	s.jobs[j] = &job{profile: p}
 	return nil
+}
+
+// AddJob admits a new job running profile p, growing the co-location by
+// one slot (the fleet layer's job-arrival path). The configuration space
+// changes dimension, so the partition is re-split to the equal split of
+// the new job set and every previously issued *resource.Space pointer and
+// configuration becomes stale: callers must re-measure isolated baselines
+// and re-initialize any policy bound to the old space (the session layer
+// does both). Fails without side effects when the machine cannot give one
+// unit of every resource to each job.
+func (s *Simulator) AddJob(p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	space, err := s.spec.Space(len(s.jobs) + 1)
+	if err != nil {
+		return fmt.Errorf("sim: AddJob: %w", err)
+	}
+	s.jobs = append(s.jobs, &job{profile: p})
+	s.installSpace(space)
+	return nil
+}
+
+// RemoveJob evicts job j (a departure), shrinking the co-location by one
+// slot; jobs above j shift down by one index. Like AddJob this re-splits
+// the partition and invalidates all prior Space pointers and
+// configurations. The last job cannot be removed — an empty machine has
+// no configuration space; tear the simulator down instead.
+func (s *Simulator) RemoveJob(j int) error {
+	if j < 0 || j >= len(s.jobs) {
+		return fmt.Errorf("sim: RemoveJob index %d out of range (%d jobs)", j, len(s.jobs))
+	}
+	if len(s.jobs) == 1 {
+		return fmt.Errorf("sim: RemoveJob would leave zero jobs; a co-location needs at least one")
+	}
+	space, err := s.spec.Space(len(s.jobs) - 1)
+	if err != nil {
+		return fmt.Errorf("sim: RemoveJob: %w", err)
+	}
+	s.jobs = append(s.jobs[:j], s.jobs[j+1:]...)
+	s.installSpace(space)
+	return nil
+}
+
+// installSpace swaps in the re-dimensioned space after membership churn
+// and resets the partition to its equal split (counted as a
+// reconfiguration: real hardware would rewrite every COS).
+func (s *Simulator) installSpace(space *resource.Space) {
+	s.space = space
+	s.iCores = resourceIndex(space, resource.Cores)
+	s.iWays = resourceIndex(space, resource.LLCWays)
+	s.iBW = resourceIndex(space, resource.MemBW)
+	s.iPower = resourceIndex(space, resource.Power)
+	s.current = space.EqualSplit()
+	s.applies++
 }
 
 // phase returns job j's current phase.

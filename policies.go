@@ -2,6 +2,7 @@ package satori
 
 import (
 	"satori/internal/core"
+	"satori/internal/harness"
 	"satori/internal/policies/copart"
 	"satori/internal/policies/dcat"
 	"satori/internal/policies/oracle"
@@ -106,6 +107,28 @@ func NewOraclePolicy(goal OracleGoal) func(Platform) (Policy, error) {
 		}), nil
 	}
 }
+
+// NewPolicyByName builds a session policy factory from the shared policy
+// name registry — the same table cmd/satori, cmd/fleet and the harness
+// use, so every front-end accepts identical names. Unknown names error
+// with the sorted list of valid ones. seed parameterizes stochastic
+// policies (SATORI's candidate sampling, Random's draw sequence).
+func NewPolicyByName(name string, seed uint64) (func(Platform) (Policy, error), error) {
+	factory, err := harness.PolicyByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return func(p Platform) (Policy, error) {
+		sp, ok := p.(*rdt.SimPlatform)
+		if !ok {
+			return nil, errNotSimulated
+		}
+		return factory(sp, seed)
+	}, nil
+}
+
+// PolicyNames lists every registered policy name, sorted.
+func PolicyNames() []string { return harness.PolicyNames() }
 
 type notSimulatedError struct{}
 

@@ -119,6 +119,7 @@ type Status struct {
 type Session struct {
 	platform   *rdt.SimPlatform
 	pol        Policy
+	rebuild    func() (Policy, error) // rebuilds the policy on the live space after job churn
 	tm         metrics.ThroughputMetric
 	fm         metrics.FairnessMetric
 	isolated   []float64
@@ -151,12 +152,16 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pol Policy
-	if cfg.Policy != nil {
-		pol, err = cfg.Policy(platform)
-	} else {
-		pol, err = core.New(platform.Space(), core.Options{Seed: seed})
+	// rebuild constructs the policy against the platform's *live* space,
+	// so calling it again after job churn yields a policy of the right
+	// dimension (factories read p.Space() at call time).
+	rebuild := func() (Policy, error) {
+		if cfg.Policy != nil {
+			return cfg.Policy(platform)
+		}
+		return core.New(platform.Space(), core.Options{Seed: seed})
 	}
+	pol, err := rebuild()
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +180,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	return &Session{
 		platform:   platform,
 		pol:        pol,
+		rebuild:    rebuild,
 		tm:         tm,
 		fm:         fm,
 		isolated:   iso,
@@ -250,6 +256,57 @@ func (s *Session) ReplaceWorkload(j int, w *Workload) error {
 		return err
 	}
 	s.isolated = iso
+	s.pendReset = true
+	return nil
+}
+
+// NumJobs returns the number of currently co-located jobs.
+func (s *Session) NumJobs() int { return s.platform.Simulator().NumJobs() }
+
+// AddWorkload admits a new job into the co-location (a fleet-layer job
+// arrival). The configuration space changes dimension, so unlike
+// ReplaceWorkload this is a full membership change: the partition is
+// re-split, isolated baselines are re-measured, and the policy is rebuilt
+// on the new space — the engine re-initialization that a job-count change
+// requires (its proxy-model inputs are per-(resource, job) coordinates).
+// The session's tick counter and running aggregates carry on.
+func (s *Session) AddWorkload(w *Workload) error {
+	if err := s.platform.Simulator().AddJob(w); err != nil {
+		return err
+	}
+	return s.reinit()
+}
+
+// RemoveWorkload evicts the job in slot j (a departure); jobs above j
+// shift down one slot. Like AddWorkload this re-splits the partition,
+// re-measures baselines and rebuilds the policy on the shrunken space.
+// The last job cannot be removed.
+func (s *Session) RemoveWorkload(j int) error {
+	if err := s.platform.Simulator().RemoveJob(j); err != nil {
+		return err
+	}
+	return s.reinit()
+}
+
+// reinit is the common membership-change tail: recompile the hardware
+// plan, rebuild the policy on the live space, and re-record baselines so
+// the next observation carries BaselineReset (Algorithm 1 line 13,
+// extended to job-count changes).
+func (s *Session) reinit() error {
+	if err := s.platform.Resync(); err != nil {
+		return err
+	}
+	pol, err := s.rebuild()
+	if err != nil {
+		return err
+	}
+	iso, err := s.platform.MeasureIsolated()
+	if err != nil {
+		return err
+	}
+	s.pol = pol
+	s.isolated = iso
+	s.current = s.platform.Current()
 	s.pendReset = true
 	return nil
 }
