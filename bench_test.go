@@ -310,6 +310,37 @@ func BenchmarkOracleSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionStep isolates the control loop's own steady-state
+// cost: a warmed session past the first equalization boundary, under the
+// hold-current Static policy so no engine work is measured — just
+// sample → score → decide → apply through internal/control. This guards
+// the loop's per-tick allocation budget (a handful of slices per step:
+// the IPS sample, the speedup vector, and the status copies).
+func BenchmarkSessionStep(b *testing.B) {
+	jobs, err := satori.Suite(satori.SuitePARSEC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := satori.NewSession(satori.SessionConfig{
+		Workloads: jobs[:5],
+		Seed:      9,
+		Policy:    satori.NewStaticPolicy(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Run(150); err != nil { // warm past tick 101's refresh
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSessionTick measures one public-API session step end to end.
 func BenchmarkSessionTick(b *testing.B) {
 	jobs, err := satori.Suite(satori.SuitePARSEC)

@@ -49,9 +49,9 @@ func testChurnReinit(t *testing.T, fullRefit bool) {
 		t.Fatal(err)
 	}
 
-	before, ok := sess.pol.(*core.Engine)
+	before, ok := sess.loop.Policy().(*core.Engine)
 	if !ok {
-		t.Fatalf("policy is %T, want *core.Engine", sess.pol)
+		t.Fatalf("policy is %T, want *core.Engine", sess.loop.Policy())
 	}
 	if before.Records().Len() == 0 {
 		t.Fatal("warm-up produced no observations; test is vacuous")
@@ -63,12 +63,12 @@ func testChurnReinit(t *testing.T, fullRefit bool) {
 	if sess.NumJobs() != 3 || sess.SpaceInfo().Jobs != 3 {
 		t.Fatalf("job set after AddWorkload: %d jobs, space %d", sess.NumJobs(), sess.SpaceInfo().Jobs)
 	}
-	if len(sess.isolated) != 3 {
-		t.Fatalf("isolated baselines not re-measured: %d entries, want 3", len(sess.isolated))
+	if len(sess.loop.Isolated()) != 3 {
+		t.Fatalf("isolated baselines not re-measured: %d entries, want 3", len(sess.loop.Isolated()))
 	}
-	after, ok := sess.pol.(*core.Engine)
+	after, ok := sess.loop.Policy().(*core.Engine)
 	if !ok {
-		t.Fatalf("rebuilt policy is %T, want *core.Engine", sess.pol)
+		t.Fatalf("rebuilt policy is %T, want *core.Engine", sess.loop.Policy())
 	}
 	if after == before {
 		t.Fatal("engine not rebuilt after AddWorkload")
@@ -93,14 +93,14 @@ func testChurnReinit(t *testing.T, fullRefit bool) {
 	}
 
 	// Departure path: same contract in the shrink direction.
-	shrinkBefore := sess.pol.(*core.Engine)
+	shrinkBefore := sess.loop.Policy().(*core.Engine)
 	if err := sess.RemoveWorkload(1); err != nil {
 		t.Fatal(err)
 	}
-	if sess.NumJobs() != 2 || len(sess.isolated) != 2 {
-		t.Fatalf("after RemoveWorkload: %d jobs, %d baselines", sess.NumJobs(), len(sess.isolated))
+	if sess.NumJobs() != 2 || len(sess.loop.Isolated()) != 2 {
+		t.Fatalf("after RemoveWorkload: %d jobs, %d baselines", sess.NumJobs(), len(sess.loop.Isolated()))
 	}
-	shrinkAfter := sess.pol.(*core.Engine)
+	shrinkAfter := sess.loop.Policy().(*core.Engine)
 	if shrinkAfter == shrinkBefore || shrinkAfter.Records().Len() != 0 {
 		t.Fatal("engine not freshly rebuilt after RemoveWorkload")
 	}
@@ -160,9 +160,9 @@ func TestChurnDefaultPolicyRebuild(t *testing.T) {
 	if err := sess.AddWorkload(jobs[3]); err != nil {
 		t.Fatal(err)
 	}
-	eng, ok := sess.pol.(*core.Engine)
+	eng, ok := sess.loop.Policy().(*core.Engine)
 	if !ok {
-		t.Fatalf("default rebuild produced %T", sess.pol)
+		t.Fatalf("default rebuild produced %T", sess.loop.Policy())
 	}
 	if eng.Records().Len() != 0 {
 		t.Fatal("default rebuild kept stale observations")

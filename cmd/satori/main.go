@@ -1,12 +1,22 @@
-// Command satori runs one co-location session on the simulated testbed:
-// pick workloads, pick a partitioning policy, and watch the throughput
-// and fairness scores evolve at 10 Hz.
+// Command satori runs one co-location session: pick workloads, pick a
+// partitioning policy, pick a backend, and watch the throughput and
+// fairness scores evolve at 10 Hz.
+//
+// Two backends ship. The default simulates the paper's testbed; the
+// resctrl backend drives the Linux resctrl filesystem layout — point
+// -resctrl-root at /sys/fs/resctrl on a CAT/MBA machine (running
+// privileged) to partition it for real, or at any scratch directory to
+// exercise the identical control path hermetically. The resctrl backend
+// reads per-job IPS from a recorded trace (-trace, see rdt.ReadIPSTrace
+// for the format); without one it synthesizes a deterministic trace from
+// the simulator so the full loop runs out of the box.
 //
 // Usage:
 //
 //	satori -workloads canneal,swaptions,streamcluster -policy satori -seconds 60
 //	satori -suite parsec -mix 0 -policy parties
 //	satori -workloads amg,hypre -policy balanced-oracle -csv run.csv
+//	satori -backend resctrl -resctrl-root $(mktemp -d) -suite parsec -seconds 5
 package main
 
 import (
@@ -14,9 +24,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"satori"
+	"satori/internal/rdt"
+	"satori/internal/sim"
 	"satori/internal/trace"
 )
 
@@ -30,6 +43,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	power := flag.Int("power", 0, "enable power-cap partitioning with this many units")
 	csvPath := flag.String("csv", "", "write the per-tick trace to this CSV file")
+	backend := flag.String("backend", "sim", "platform backend (sim|resctrl)")
+	resctrlRoot := flag.String("resctrl-root", "", "resctrl mount point or scratch directory (resctrl backend)")
+	tracePath := flag.String("trace", "", "IPS trace file to replay (resctrl backend; default: synthesized from the simulator)")
 	dumpSuite := flag.String("dump-profiles", "", "write a suite's workload profiles as JSON to stdout and exit (parsec|cloudsuite|ecp)")
 	flag.Parse()
 
@@ -77,28 +93,41 @@ func main() {
 		log.Fatal("pass -workloads or -suite (see -h)")
 	}
 
-	factory, err := satori.NewPolicyByName(*policyName, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
 	machine := satori.DefaultMachine()
 	if *power > 0 {
 		machine.PowerUnits = *power
 	}
-	sess, err := satori.NewSession(satori.SessionConfig{
-		Machine:   &machine,
-		Workloads: jobs,
-		Policy:    factory,
-		Seed:      *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
+	ticks := int(*seconds / satori.TickSeconds)
+
+	var sess *satori.Session
+	switch *backend {
+	case "sim":
+		factory, err := satori.NewPolicyByName(*policyName, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err = satori.NewSession(satori.SessionConfig{
+			Machine:   &machine,
+			Workloads: jobs,
+			Policy:    factory,
+			Seed:      *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "resctrl":
+		var err error
+		sess, err = newResctrlSession(machine, jobs, *policyName, *resctrlRoot, *tracePath, *seed, ticks)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -backend %q (valid: sim, resctrl)", *backend)
 	}
-	fmt.Printf("jobs: %v\npolicy: %s\nspace: %.0f configurations\n",
-		sess.JobNames(), *policyName, sess.SpaceInfo().Size())
+	fmt.Printf("backend: %s\njobs: %v\npolicy: %s\nspace: %.0f configurations\n",
+		*backend, sess.JobNames(), *policyName, sess.SpaceInfo().Size())
 
 	series := trace.NewSeries("time", "throughput", "fairness")
-	ticks := int(*seconds / satori.TickSeconds)
 	report := ticks / 10
 	if report < 1 {
 		report = 1
@@ -118,6 +147,9 @@ func main() {
 		w := eng.LastWeights()
 		fmt.Printf("weights: W_T=%.2f W_F=%.2f; configurations explored: %d\n", w.T, w.F, eng.Records().Len())
 	}
+	if rp, ok := sess.Platform().(*rdt.ResctrlPlatform); ok {
+		reportResctrl(rp, len(jobs), *resctrlRoot)
+	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -131,4 +163,108 @@ func main() {
 		}
 		fmt.Println("trace written to", *csvPath)
 	}
+}
+
+// newResctrlSession assembles the resctrl deployment stack: a sampler
+// (recorded trace, or one synthesized deterministically from the
+// simulator), the resctrl writer rooted at -resctrl-root, and the
+// platform-generic policy, all driven by the same control loop as the
+// simulated backend.
+func newResctrlSession(machine satori.MachineSpec, jobs []*satori.Workload,
+	policyName, root, tracePath string, seed uint64, ticks int) (*satori.Session, error) {
+	if root == "" {
+		return nil, fmt.Errorf("-backend resctrl needs -resctrl-root (the resctrl mount point, e.g. /sys/fs/resctrl, or a scratch directory)")
+	}
+	var sampler rdt.Sampler
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		sampler, err = rdt.LoadTraceSampler(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		sampler, err = synthesizeTrace(machine, jobs, seed, ticks)
+		if err != nil {
+			return nil, err
+		}
+	}
+	names := make([]string, len(jobs))
+	for i, j := range jobs {
+		names[i] = j.Name
+	}
+	platform, err := rdt.NewResctrlPlatform(machine, names, rdt.ResctrlWriter{Root: root}, sampler)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := genericPolicy(policyName, seed)
+	if err != nil {
+		return nil, err
+	}
+	return satori.NewSessionOn(platform, satori.SessionConfig{Policy: pol, Seed: seed})
+}
+
+// genericPolicy resolves the policy names that work against any Platform
+// backend. The oracle family needs noise-free simulator access, so it is
+// sim-backend-only by construction.
+func genericPolicy(name string, seed uint64) (func(satori.Platform) (satori.Policy, error), error) {
+	switch name {
+	case "satori":
+		return satori.NewSatoriPolicy(satori.EngineOptions{Seed: seed}), nil
+	case "satori-static":
+		return satori.NewStaticSatoriPolicy(0.5), nil
+	case "satori-throughput":
+		return satori.NewStaticSatoriPolicy(1), nil
+	case "satori-fairness":
+		return satori.NewStaticSatoriPolicy(0), nil
+	case "random":
+		return satori.NewRandomPolicy(seed), nil
+	case "static":
+		return satori.NewStaticPolicy(), nil
+	case "dcat":
+		return satori.NewDCATPolicy(), nil
+	case "copart":
+		return satori.NewCoPartPolicy(), nil
+	case "parties":
+		return satori.NewPARTIESPolicy(), nil
+	}
+	return nil, fmt.Errorf("policy %q is not available on the resctrl backend (oracles need the simulator); valid: copart, dcat, parties, random, satori, satori-fairness, satori-static, satori-throughput, static", name)
+}
+
+// synthesizeTrace records a deterministic IPS trace by running the
+// simulated testbed under the initial equal split for the whole run
+// length — the out-of-the-box sampler when no -trace capture is given.
+func synthesizeTrace(machine satori.MachineSpec, jobs []*satori.Workload, seed uint64, ticks int) (*rdt.TraceSampler, error) {
+	simulator, err := sim.New(machine, jobs, sim.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	isolated := simulator.MeasureIsolated()
+	if ticks < 1 {
+		ticks = 1
+	}
+	rows := make([][]float64, 0, ticks)
+	for i := 0; i < ticks; i++ {
+		rows = append(rows, simulator.Step().IPS)
+	}
+	return rdt.NewTraceSampler(isolated, rows)
+}
+
+// reportResctrl prints where the control groups landed and round-trips
+// one group through ReadGroup so a live deployment can be spot-checked.
+func reportResctrl(p *rdt.ResctrlPlatform, njobs int, root string) {
+	fmt.Printf("resctrl: %d control groups under %s\n", njobs, root)
+	w := p.Writer()
+	ja, err := w.ReadGroup(0)
+	if err != nil {
+		fmt.Println("resctrl: read-back failed:", err)
+		return
+	}
+	fmt.Printf("resctrl: job 0 schemata round-trip: L3 mask %#x, MB %d%%, cpus %s (%s)\n",
+		ja.CATMask, ja.MBAPercent, rdt.FormatCPUList(ja.CPUSet),
+		filepath.Join(root, "satori-job0"))
 }

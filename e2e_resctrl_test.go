@@ -1,0 +1,112 @@
+package satori_test
+
+import (
+	"testing"
+
+	"satori"
+	"satori/internal/rdt"
+)
+
+// TestResctrlSessionEndToEnd drives a full SATORI session over the
+// resctrl backend against a scratch root: the complete Algorithm-1 loop
+// (sample → score → decide → apply → periodic baseline refresh) runs
+// hermetically, and after every tick the control-group files on disk
+// must equal the compiled form of exactly the configuration the status
+// reports — the resctrl tree is the partition, tick for tick.
+func TestResctrlSessionEndToEnd(t *testing.T) {
+	names := []string{"blackscholes", "canneal", "streamcluster"}
+	isolated := []float64{2.5e9, 1.8e9, 2.1e9}
+	// A short synthetic IPS recording; it replays in a loop, so 120
+	// ticks cross the 100-tick equalization boundary with a 7-row trace.
+	rows := [][]float64{
+		{1.2e9, 0.9e9, 1.0e9},
+		{1.3e9, 0.8e9, 1.1e9},
+		{1.1e9, 1.0e9, 0.9e9},
+		{1.4e9, 0.7e9, 1.2e9},
+		{1.0e9, 1.1e9, 0.8e9},
+		{1.2e9, 0.9e9, 1.1e9},
+		{1.3e9, 1.0e9, 1.0e9},
+	}
+	sampler, err := rdt.NewTraceSampler(isolated, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := satori.DefaultMachine()
+	writer := rdt.ResctrlWriter{Root: t.TempDir()}
+	platform, err := rdt.NewResctrlPlatform(machine, names, writer, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := satori.NewSessionOn(platform, satori.SessionConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.JobNames(); len(got) != 3 || got[1] != "canneal" {
+		t.Fatalf("JobNames = %v", got)
+	}
+
+	changed := 0
+	var prev satori.Config
+	var sawReset bool
+	for tick := 1; tick <= 120; tick++ {
+		st, err := sess.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if st.RejectedApply != nil {
+			t.Fatalf("tick %d: rejected apply: %v", tick, st.RejectedApply)
+		}
+		if st.ResetErr != nil {
+			t.Fatalf("tick %d: baseline refresh failed: %v", tick, st.ResetErr)
+		}
+		if tick == 101 && st.BaselineReset {
+			sawReset = true
+		}
+		plan, err := rdt.Compile(platform.Space(), st.Config)
+		if err != nil {
+			t.Fatalf("tick %d: status config does not compile: %v", tick, err)
+		}
+		for j := range names {
+			got, err := writer.ReadGroup(j)
+			if err != nil {
+				t.Fatalf("tick %d job %d: %v", tick, j, err)
+			}
+			want := plan.Jobs[j]
+			if got.CATMask != want.CATMask || got.MBAPercent != want.MBAPercent {
+				t.Fatalf("tick %d job %d: resctrl tree has mask %#x MB %d%%, status config compiles to mask %#x MB %d%%",
+					tick, j, got.CATMask, got.MBAPercent, want.CATMask, want.MBAPercent)
+			}
+			if rdt.FormatCPUList(got.CPUSet) != rdt.FormatCPUList(want.CPUSet) {
+				t.Fatalf("tick %d job %d: cpus_list %q, want %q",
+					tick, j, rdt.FormatCPUList(got.CPUSet), rdt.FormatCPUList(want.CPUSet))
+			}
+		}
+		if tick > 1 && !st.Config.Equal(prev) {
+			changed++
+		}
+		prev = st.Config.Clone()
+	}
+	if changed == 0 {
+		t.Error("the engine never moved the partition in 120 ticks")
+	}
+	if !sawReset {
+		t.Error("no baseline refresh observed at the 100-tick equalization boundary")
+	}
+	sum := sess.Summary()
+	if sum.Ticks != 120 || sum.RejectedApplies != 0 {
+		t.Errorf("summary = %+v, want 120 ticks and no rejections", sum)
+	}
+
+	// The backend's job set is fixed: churn must be refused with the
+	// typed capability error, and the session must keep running.
+	w, err := satori.WorkloadByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.AddWorkload(w); err == nil {
+		t.Error("AddWorkload succeeded on a churn-incapable backend")
+	}
+	if _, err := sess.Step(); err != nil {
+		t.Errorf("session unusable after refused churn: %v", err)
+	}
+}

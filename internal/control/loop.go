@@ -1,0 +1,414 @@
+// Package control owns SATORI's per-tick control loop (Algorithm 1's
+// outer loop) independent of any backend: sample per-job IPS, score the
+// throughput and fairness goals, let the policy decide, apply the next
+// partition, re-measure isolated baselines on the equalization schedule,
+// and absorb job-membership churn. The loop is driven purely through the
+// rdt.Platform interface, so the identical decision loop runs against
+// the analytical simulator (rdt.SimPlatform), the Linux resctrl
+// filesystem (rdt.ResctrlPlatform), or any future backend. The public
+// satori.Session, the fleet's per-node stack, and the experiment harness
+// are all thin layers over one Loop.
+package control
+
+import (
+	"errors"
+	"fmt"
+
+	"satori/internal/metrics"
+	"satori/internal/policy"
+	"satori/internal/rdt"
+	"satori/internal/resource"
+	"satori/internal/sim"
+	"satori/internal/stats"
+)
+
+// TickSeconds is the monitoring/decision interval (100 ms, 10 Hz).
+const TickSeconds = sim.TickSeconds
+
+// Options configures a Loop.
+type Options struct {
+	// Platform is the control+monitor backend (required).
+	Platform rdt.Platform
+	// Policy builds the partitioning policy against the platform's
+	// *live* space (required). The loop re-invokes it after membership
+	// churn re-dimensions the space, so factories must read
+	// Platform.Space() at call time, not capture it.
+	Policy func(rdt.Platform) (policy.Policy, error)
+	// Throughput and Fairness select the objective formulas; the zero
+	// values are the Default* sentinels resolving to the paper's
+	// evaluation pairing (SumIPS + JainIndex, Sec. IV).
+	Throughput metrics.ThroughputMetric
+	Fairness   metrics.FairnessMetric
+	// BaselineResetTicks is the isolated-baseline refresh period
+	// (default 100 ticks = 10 s, the equalization period).
+	BaselineResetTicks int
+}
+
+// Status is one interval's outcome.
+type Status struct {
+	// Tick counts completed 100 ms intervals.
+	Tick int
+	// Time is elapsed seconds.
+	Time float64
+	// IPS is the observed per-job instructions/second.
+	IPS []float64
+	// Isolated is the per-job isolated baseline in force this interval.
+	Isolated []float64
+	// Speedups is IPS over the isolated baselines.
+	Speedups []float64
+	// Throughput is the normalized system-throughput score in [0, 1].
+	Throughput float64
+	// Fairness is the normalized fairness score in [0, 1].
+	Fairness float64
+	// Config is the partition that will run during the next interval.
+	Config resource.Config
+	// BaselineReset reports whether isolated baselines were re-measured
+	// just before this interval's observation.
+	BaselineReset bool
+	// RejectedApply is the platform's rejection of this tick's decision
+	// (nil when the decision was accepted). The loop keeps running on
+	// the live configuration; Summary counts the rejections.
+	RejectedApply error
+	// ResetErr is a failed periodic baseline re-measurement (nil when
+	// none was due or it succeeded). The previous baselines stay in
+	// force and the refresh is retried at the next boundary.
+	ResetErr error
+}
+
+// StaleDecisionError is Step's typed failure when the policy emits a
+// configuration shaped for a job set that no longer exists — the policy
+// and platform have desynced, which after churn means the rebuild
+// contract was broken. It wraps the platform's *rdt.ConfigShapeError so
+// callers (the fleet layer) can distinguish this fatal desync from the
+// recoverable rejections counted in Status.RejectedApply. Only a
+// shape rejection with the machine's resource-row count and a
+// mismatched job dimension qualifies; a malformed configuration (wrong
+// resource count, no allocation matrix) is an ordinary rejection.
+type StaleDecisionError struct {
+	// Tick is the interval whose decision was rejected.
+	Tick int
+	// Shape is the platform's typed shape rejection.
+	Shape *rdt.ConfigShapeError
+}
+
+// Error implements error.
+func (e *StaleDecisionError) Error() string {
+	return fmt.Sprintf("control: tick %d: policy decision is stale-shaped for the live job set (policy not rebuilt after churn?): %v", e.Tick, e.Shape)
+}
+
+// Unwrap exposes the wrapped *rdt.ConfigShapeError to errors.As/Is.
+func (e *StaleDecisionError) Unwrap() error { return e.Shape }
+
+// ErrChurnUnsupported reports a membership-churn request against a
+// backend that does not implement rdt.Churner (e.g. a trace-driven
+// resctrl deployment, whose job set is fixed at construction).
+var ErrChurnUnsupported = errors.New("control: platform backend does not support job membership churn")
+
+// Loop drives one co-location under a policy, one 100 ms interval at a
+// time — the backend-agnostic embodiment of Algorithm 1's outer loop.
+type Loop struct {
+	platform   rdt.Platform
+	pol        policy.Policy
+	rebuild    func() (policy.Policy, error)
+	tm         metrics.ThroughputMetric
+	fm         metrics.FairnessMetric
+	isolated   []float64
+	current    resource.Config
+	tick       int
+	resetEvery int
+	pendReset  bool
+	rejected   int
+
+	accT, accF, accObj stats.Welford
+}
+
+// New builds a loop: the policy is constructed on the platform's live
+// space, the initial isolated baselines are measured (Algorithm 1
+// line 3), and the first observation will carry BaselineReset.
+func New(opt Options) (*Loop, error) {
+	if opt.Platform == nil {
+		return nil, fmt.Errorf("control: Options.Platform is required")
+	}
+	if opt.Policy == nil {
+		return nil, fmt.Errorf("control: Options.Policy is required")
+	}
+	rebuild := func() (policy.Policy, error) { return opt.Policy(opt.Platform) }
+	pol, err := rebuild()
+	if err != nil {
+		return nil, err
+	}
+	iso, err := opt.Platform.MeasureIsolated()
+	if err != nil {
+		return nil, err
+	}
+	resetEvery := opt.BaselineResetTicks
+	if resetEvery <= 0 {
+		resetEvery = 100
+	}
+	return &Loop{
+		platform:   opt.Platform,
+		pol:        pol,
+		rebuild:    rebuild,
+		tm:         opt.Throughput.Resolve(),
+		fm:         opt.Fairness.Resolve(),
+		isolated:   iso,
+		current:    opt.Platform.Current(),
+		resetEvery: resetEvery,
+		pendReset:  true,
+	}, nil
+}
+
+// Platform returns the backend the loop drives.
+func (l *Loop) Platform() rdt.Platform { return l.platform }
+
+// Policy returns the active policy (rebuilt after membership churn).
+func (l *Loop) Policy() policy.Policy { return l.pol }
+
+// Current returns the configuration that will run next interval.
+func (l *Loop) Current() resource.Config { return l.current }
+
+// Isolated returns the isolated baselines currently in force.
+func (l *Loop) Isolated() []float64 { return l.isolated }
+
+// Ticks returns the number of completed intervals.
+func (l *Loop) Ticks() int { return l.tick }
+
+// Objectives returns the resolved metric choices.
+func (l *Loop) Objectives() (metrics.ThroughputMetric, metrics.FairnessMetric) {
+	return l.tm, l.fm
+}
+
+// Step advances one 100 ms interval: refresh isolated baselines if an
+// equalization boundary was crossed (skipped when churn already
+// refreshed them), sample IPS, score both goals, let the policy decide,
+// and apply the next partition. Rejected applies are surfaced in the
+// status, not swallowed; a stale-shaped decision is a *StaleDecisionError.
+func (l *Loop) Step() (Status, error) {
+	// Algorithm 1 line 13: re-record isolated baselines every
+	// equalization period. The refresh is scheduled at the start of the
+	// interval after the boundary tick — the same position in the
+	// platform's sampling sequence as refreshing at the previous tick's
+	// end — so a membership change between ticks (which re-measures on
+	// its own) makes the periodic refresh redundant and it is skipped.
+	var resetErr error
+	if l.tick > 0 && l.tick%l.resetEvery == 0 && !l.pendReset {
+		if iso, err := l.platform.MeasureIsolated(); err != nil {
+			resetErr = err
+		} else {
+			l.isolated = iso
+			l.pendReset = true
+		}
+	}
+	ips, err := l.platform.Sample()
+	if err != nil {
+		return Status{}, err
+	}
+	l.tick++
+	speedups := metrics.Speedups(ips, l.isolated)
+	t := metrics.NormalizedThroughput(l.tm, ips, l.isolated)
+	f := metrics.NormalizedFairness(l.fm, ips, l.isolated)
+	l.accT.Add(t)
+	l.accF.Add(f)
+	l.accObj.Add(0.5*t + 0.5*f)
+
+	obs := policy.Observation{
+		Tick: l.tick, Time: float64(l.tick) * TickSeconds,
+		IPS: ips, Isolated: l.isolated, Speedups: speedups,
+		Throughput: t, Fairness: f,
+		BaselineReset: l.pendReset,
+	}
+	wasReset := l.pendReset
+	l.pendReset = false
+	next := l.pol.Decide(obs, l.current)
+	st := Status{
+		Tick: l.tick, Time: float64(l.tick) * TickSeconds,
+		IPS: ips, Isolated: l.isolated, Speedups: speedups,
+		Throughput: t, Fairness: f,
+		BaselineReset: wasReset,
+		ResetErr:      resetErr,
+	}
+	if err := l.platform.Apply(next); err != nil {
+		// A shape rejection is fatal only when it is genuinely stale:
+		// churn changes the job dimension but never the resource rows,
+		// so a config with the machine's resource count and the wrong
+		// job count came from before a membership change the policy
+		// never saw. Anything else (e.g. a zero-value config with no
+		// allocation matrix) is malformed, not stale — a recoverable
+		// rejection like any other invalid decision.
+		var shape *rdt.ConfigShapeError
+		if errors.As(err, &shape) && shape.ConfigResources == shape.SpaceResources {
+			st.Config = l.current
+			return st, &StaleDecisionError{Tick: l.tick, Shape: shape}
+		}
+		st.RejectedApply = err
+		l.rejected++
+	} else if !l.current.Equal(next) {
+		// l.current tracks the platform's installed configuration (both
+		// are updated only here and in the churn paths), so an unchanged
+		// decision needs no re-clone — the steady-state fast path.
+		l.current = l.platform.Current()
+	}
+	st.Config = l.current
+	return st, nil
+}
+
+// Run advances n intervals and returns the last status.
+func (l *Loop) Run(n int) (Status, error) {
+	var last Status
+	var err error
+	for i := 0; i < n; i++ {
+		last, err = l.Step()
+		if err != nil {
+			return last, err
+		}
+	}
+	return last, nil
+}
+
+// RefreshBaselines re-measures isolated baselines immediately; the next
+// observation carries BaselineReset and any periodic refresh due at the
+// same boundary is skipped as redundant.
+func (l *Loop) RefreshBaselines() error {
+	iso, err := l.platform.MeasureIsolated()
+	if err != nil {
+		return err
+	}
+	l.isolated = iso
+	l.pendReset = true
+	return nil
+}
+
+// Reinit is the membership-change tail for externally mutated platforms:
+// resync the backend's compiled state, rebuild the policy on the live
+// space, and re-measure baselines (Algorithm 1 line 13, extended to
+// job-count changes). The loop's tick counter and running aggregates
+// carry on. The churn methods below call the same tail (minus the
+// resync, which rdt.Churner implementations already performed).
+func (l *Loop) Reinit() error {
+	if err := l.platform.Resync(); err != nil {
+		return err
+	}
+	return l.rebuildAfterChurn()
+}
+
+// rebuildAfterChurn rebuilds the policy on the live space and re-records
+// baselines; state is committed only when every step succeeded, so a
+// failed rebuild leaves the previous policy running.
+func (l *Loop) rebuildAfterChurn() error {
+	pol, err := l.rebuild()
+	if err != nil {
+		return err
+	}
+	iso, err := l.platform.MeasureIsolated()
+	if err != nil {
+		return err
+	}
+	l.pol = pol
+	l.isolated = iso
+	l.current = l.platform.Current()
+	l.pendReset = true
+	return nil
+}
+
+// churner returns the platform's churn capability, or the typed error.
+func (l *Loop) churner() (rdt.Churner, error) {
+	if c, ok := l.platform.(rdt.Churner); ok {
+		return c, nil
+	}
+	return nil, ErrChurnUnsupported
+}
+
+// NumJobs returns the number of co-located jobs (falling back to the
+// space's job count on backends without the churn capability).
+func (l *Loop) NumJobs() int {
+	if c, ok := l.platform.(rdt.Churner); ok {
+		return c.NumJobs()
+	}
+	return l.platform.Space().Jobs
+}
+
+// ReplaceJob swaps the workload running in slot j for a new one — a job
+// departure plus a new arrival in the same slot (Algorithm 1 line 12).
+// Isolated baselines are re-measured immediately and the policy sees a
+// BaselineReset on its next observation; SATORI requires no other
+// re-initialization (Sec. III-C).
+func (l *Loop) ReplaceJob(j int, p *sim.Profile) error {
+	c, err := l.churner()
+	if err != nil {
+		return err
+	}
+	if err := c.ReplaceJob(j, p); err != nil {
+		return err
+	}
+	return l.RefreshBaselines()
+}
+
+// AddJob admits a new job into the co-location (a fleet-layer arrival).
+// The configuration space changes dimension, so unlike ReplaceJob this
+// is a full membership change: the partition is re-split, baselines are
+// re-measured, and the policy is rebuilt on the new space — the engine
+// re-initialization a job-count change requires (its proxy-model inputs
+// are per-(resource, job) coordinates).
+func (l *Loop) AddJob(p *sim.Profile) error {
+	c, err := l.churner()
+	if err != nil {
+		return err
+	}
+	if err := c.AddJob(p); err != nil {
+		return err
+	}
+	return l.rebuildAfterChurn()
+}
+
+// RemoveJob evicts the job in slot j (a departure); jobs above j shift
+// down one slot. Like AddJob this re-splits the partition, re-measures
+// baselines and rebuilds the policy on the shrunken space. The last job
+// cannot be removed.
+func (l *Loop) RemoveJob(j int) error {
+	c, err := l.churner()
+	if err != nil {
+		return err
+	}
+	if err := c.RemoveJob(j); err != nil {
+		return err
+	}
+	return l.rebuildAfterChurn()
+}
+
+// Summary aggregates the loop so far.
+type Summary struct {
+	// Ticks is the number of completed intervals.
+	Ticks int
+	// MeanThroughput and MeanFairness are run averages of the
+	// normalized scores.
+	MeanThroughput, MeanFairness float64
+	// MeanObjective is the run average of 0.5·T + 0.5·F.
+	MeanObjective float64
+	// StdThroughput and StdFairness are the tick-to-tick standard
+	// deviations of the normalized scores.
+	StdThroughput, StdFairness float64
+	// RejectedApplies counts decisions the platform refused (invalid or
+	// non-compilable configurations). Without it, a policy emitting
+	// garbage is indistinguishable from one deliberately holding the
+	// current configuration.
+	RejectedApplies int
+}
+
+// Summary returns the running aggregate.
+func (l *Loop) Summary() Summary {
+	return Summary{
+		Ticks:           l.tick,
+		MeanThroughput:  l.accT.Mean(),
+		MeanFairness:    l.accF.Mean(),
+		MeanObjective:   l.accObj.Mean(),
+		StdThroughput:   l.accT.StdDev(),
+		StdFairness:     l.accF.StdDev(),
+		RejectedApplies: l.rejected,
+	}
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("ticks=%d throughput=%.3f fairness=%.3f objective=%.3f",
+		s.Ticks, s.MeanThroughput, s.MeanFairness, s.MeanObjective)
+}

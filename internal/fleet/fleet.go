@@ -4,7 +4,8 @@
 //
 // A Cluster runs N Nodes in lockstep 100 ms ticks. Each node is one
 // complete SATORI stack — a sim.Simulator behind an rdt.SimPlatform,
-// driven by its own policy engine through the top-level session API —
+// driven by its own policy engine through internal/control's
+// backend-agnostic loop (the same loop behind satori.Session) —
 // exactly the per-node decomposition POP (Narayanan et al.) shows is
 // near-optimal for large resource-allocation problems. A JobStream feeds
 // Poisson arrivals with bounded service times into a Placer, which picks
@@ -22,11 +23,14 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 
-	"satori"
+	"satori/internal/control"
 	"satori/internal/harness"
 	"satori/internal/metrics"
+	"satori/internal/policy"
+	"satori/internal/rdt"
 	"satori/internal/sim"
 	"satori/internal/stats"
 	"satori/internal/trace"
@@ -61,15 +65,15 @@ type Options struct {
 	Workers int
 }
 
-// node is one machine of the fleet: a session (nil while idle) plus the
-// jobs occupying its slots, in session slot order.
+// node is one machine of the fleet: a control loop (nil while idle) plus
+// the jobs occupying its slots, in loop slot order.
 type node struct {
 	id      int
 	machine sim.MachineSpec
 	jobs    []*Job
-	sess    *satori.Session
+	loop    *control.Loop
 	gen     int // session generations, for churn-independent seeding
-	last    satori.Status
+	last    control.Status
 	hasLast bool // last is valid for the current job set
 }
 
@@ -118,7 +122,7 @@ func New(opt Options) (*Cluster, error) {
 	}
 	// Resolve the policy once for validation; nodes rebuild per session
 	// with their own seeds.
-	if _, err := satori.NewPolicyByName(opt.Policy, 1); err != nil {
+	if _, err := harness.PolicyByName(opt.Policy); err != nil {
 		return nil, err
 	}
 	placer, err := PlacerByName(opt.Placer)
@@ -358,30 +362,36 @@ func (s Summary) String() string {
 }
 
 // admit places job on the node at time now: the first job of an idle node
-// boots a fresh session; later jobs go through the session layer's
-// AddWorkload churn path (re-split, baseline re-measurement, engine
-// re-initialization).
+// boots a fresh control loop on a fresh simulator; later jobs go through
+// the loop's AddJob churn path (re-split, baseline re-measurement, engine
+// re-initialization on the re-dimensioned space).
 func (n *node) admit(job *Job, now float64, opt Options) error {
 	if len(n.jobs) == 0 {
 		seed := nodeSeed(opt.Seed, n.id, n.gen)
 		n.gen++
-		factory, err := satori.NewPolicyByName(opt.Policy, seed)
+		factory, err := harness.PolicyByName(opt.Policy)
 		if err != nil {
 			return err
 		}
-		sess, err := satori.NewSession(satori.SessionConfig{
-			Machine:    &n.machine,
-			Workloads:  []*satori.Workload{job.Profile},
-			Policy:     factory,
-			Seed:       seed,
-			NoiseSigma: opt.NoiseSigma,
+		simulator, err := sim.New(n.machine, []*sim.Profile{job.Profile},
+			sim.Options{Seed: seed, NoiseSigma: opt.NoiseSigma})
+		if err != nil {
+			return err
+		}
+		platform, err := rdt.NewSimPlatform(simulator)
+		if err != nil {
+			return err
+		}
+		loop, err := control.New(control.Options{
+			Platform: platform,
+			Policy:   func(rdt.Platform) (policy.Policy, error) { return factory(platform, seed) },
 		})
 		if err != nil {
 			return err
 		}
-		n.sess = sess
+		n.loop = loop
 	} else {
-		if err := n.sess.AddWorkload(job.Profile); err != nil {
+		if err := n.loop.AddJob(job.Profile); err != nil {
 			return err
 		}
 	}
@@ -394,11 +404,11 @@ func (n *node) admit(job *Job, now float64, opt Options) error {
 }
 
 // evict removes the job in the given slot; the last job tears the whole
-// session down (a machine with zero jobs has no configuration space).
+// loop down (a machine with zero jobs has no configuration space).
 func (n *node) evict(slot int) error {
 	if len(n.jobs) == 1 {
-		n.sess = nil
-	} else if err := n.sess.RemoveWorkload(slot); err != nil {
+		n.loop = nil
+	} else if err := n.loop.RemoveJob(slot); err != nil {
 		return err
 	}
 	n.jobs = append(n.jobs[:slot], n.jobs[slot+1:]...)
@@ -406,14 +416,24 @@ func (n *node) evict(slot int) error {
 	return nil
 }
 
-// step advances the node one 100 ms tick; idle nodes are a no-op.
+// step advances the node one 100 ms tick; idle nodes are a no-op. A
+// *control.StaleDecisionError means the node's policy and platform
+// desynced after churn — a fleet-layer invariant violation, flagged as
+// such rather than surfaced as a bare apply failure.
 func (n *node) step() error {
-	if n.sess == nil {
+	if n.loop == nil {
 		return nil
 	}
-	st, err := n.sess.Step()
+	st, err := n.loop.Step()
 	if err != nil {
+		var stale *control.StaleDecisionError
+		if errors.As(err, &stale) {
+			return fmt.Errorf("fleet: node %d: policy/platform desync after churn: %w", n.id, stale)
+		}
 		return err
+	}
+	if st.ResetErr != nil {
+		return st.ResetErr
 	}
 	n.last = st
 	n.hasLast = true

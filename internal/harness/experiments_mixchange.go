@@ -3,8 +3,8 @@ package harness
 import (
 	"fmt"
 
+	"satori/internal/control"
 	"satori/internal/core"
-	"satori/internal/metrics"
 	"satori/internal/policy"
 	"satori/internal/rdt"
 	"satori/internal/sim"
@@ -47,61 +47,39 @@ func RunMixChange(opt ExpOptions) (*Report, error) {
 		if err != nil {
 			return outcome{}, err
 		}
-		pol, err := factory(platform, opt.Seed)
+		loop, err := control.New(control.Options{
+			Platform: platform,
+			Policy:   func(rdt.Platform) (policy.Policy, error) { return factory(platform, opt.Seed) },
+		})
 		if err != nil {
 			return outcome{}, err
 		}
-		iso, err := platform.MeasureIsolated()
-		if err != nil {
-			return outcome{}, err
-		}
-		met := DefaultMetrics()
-		current := platform.Current()
-		reset := true
 		half := opt.Ticks / 2
 		var pre, post stats.Welford
 		objs := make([]float64, 0, opt.Ticks)
 		for tick := 1; tick <= opt.Ticks; tick++ {
-			ips, err := platform.Sample()
+			st, err := loop.Step()
 			if err != nil {
 				return outcome{}, err
 			}
-			t := metrics.NormalizedThroughput(met.Throughput, ips, iso)
-			f := metrics.NormalizedFairness(met.Fairness, ips, iso)
-			obj := 0.5*t + 0.5*f
+			if st.ResetErr != nil {
+				return outcome{}, st.ResetErr
+			}
+			obj := 0.5*st.Throughput + 0.5*st.Fairness
 			objs = append(objs, obj)
 			if tick <= half {
 				pre.Add(obj)
 			} else {
 				post.Add(obj)
 			}
-			obs := policy.Observation{
-				Tick: tick, Time: simulator.Now(), IPS: ips, Isolated: iso,
-				Speedups:   metrics.Speedups(ips, iso),
-				Throughput: t, Fairness: f, BaselineReset: reset,
-			}
-			reset = false
-			next := pol.Decide(obs, current)
-			if err := platform.Apply(next); err == nil {
-				current = platform.Current()
-			}
 			if tick == half {
-				// The mix change: canneal departs, swaptions
-				// arrives; baselines are re-recorded.
-				if err := simulator.ReplaceJob(1, arrival); err != nil {
+				// The mix change: canneal departs, swaptions arrives;
+				// baselines are re-recorded (which also preempts a
+				// periodic refresh due at the same boundary — the
+				// change itself is the equalization event).
+				if err := loop.ReplaceJob(1, arrival); err != nil {
 					return outcome{}, err
 				}
-				iso, err = platform.MeasureIsolated()
-				if err != nil {
-					return outcome{}, err
-				}
-				reset = true
-			} else if tick%100 == 0 {
-				iso, err = platform.MeasureIsolated()
-				if err != nil {
-					return outcome{}, err
-				}
-				reset = true
 			}
 		}
 		// Recovery: first post-change tick where the trailing 10-tick

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The committed goldens under testdata/golden were captured BEFORE the
+// per-tick loop moved into internal/control (with cmd/experiments -csv at
+// the flag values below). These tests pin the refactor's core promise:
+// with the sim backend, suite results are byte-identical — same RNG draw
+// order, same metric math, same equalization schedule, down to the
+// formatted digit. A diff here means the control loop changed observable
+// behavior, not just structure.
+
+func goldenCompare(t *testing.T, rep *Report, tableIdx int, goldenFile string) {
+	t.Helper()
+	if tableIdx >= len(rep.Tables) {
+		t.Fatalf("report has %d tables, want index %d", len(rep.Tables), tableIdx)
+	}
+	var got strings.Builder
+	if err := rep.Tables[tableIdx].WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", goldenFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("%s diverged from the pre-refactor capture:\ngot:\n%s\nwant:\n%s",
+			goldenFile, got.String(), want)
+	}
+}
+
+// Fig. 7 smoke scale: -run fig7 -ticks 60 -mixes 2 -seed 42.
+func TestGoldenFig7Smoke(t *testing.T) {
+	e, ok := FindExperiment("fig7")
+	if !ok {
+		t.Fatal("fig7 not registered")
+	}
+	rep, err := e.Run(ExpOptions{Ticks: 60, Seed: 42, MixLimit: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, rep, 0, "fig7_smoke.csv")
+}
+
+// Mix change at 200 ticks: -run mix-change -ticks 200 -seed 42. Ticks=200
+// puts the mid-run churn exactly on a 100-tick equalization boundary, so
+// this golden also pins the "churn preempts the periodic refresh"
+// scheduling the loop must reproduce.
+func TestGoldenMixChange(t *testing.T) {
+	e, ok := FindExperiment("mix-change")
+	if !ok {
+		t.Fatal("mix-change not registered")
+	}
+	rep, err := e.Run(ExpOptions{Ticks: 200, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, rep, 0, "mixchange_200.csv")
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"satori/internal/control"
 	"satori/internal/core"
 	"satori/internal/metrics"
 	"satori/internal/policies/oracle"
@@ -125,7 +126,11 @@ type weightReporter interface {
 	ProxyChange() float64
 }
 
-// Run executes one policy run.
+// Run executes one policy run: it builds the simulated platform, then
+// drives internal/control's backend-agnostic tick loop (the same loop
+// behind satori.Session and the fleet's nodes), layering the
+// harness-only instrumentation — worst-job speedup, Balanced-Oracle
+// distance, and the per-tick trace — on top of each Status.
 func Run(spec RunSpec) (*Result, error) {
 	machine := sim.DefaultMachine()
 	if spec.Machine != nil {
@@ -133,9 +138,6 @@ func Run(spec RunSpec) (*Result, error) {
 	}
 	if spec.Ticks <= 0 {
 		spec.Ticks = 600
-	}
-	if spec.BaselineResetTicks <= 0 {
-		spec.BaselineResetTicks = 100
 	}
 	if spec.Policy == nil {
 		return nil, fmt.Errorf("harness: RunSpec.Policy is required")
@@ -148,10 +150,17 @@ func Run(spec RunSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pol, err := spec.Policy(platform, spec.Seed)
+	loop, err := control.New(control.Options{
+		Platform:           platform,
+		Policy:             func(rdt.Platform) (policy.Policy, error) { return spec.Policy(platform, spec.Seed) },
+		Throughput:         spec.Metrics.Throughput,
+		Fairness:           spec.Metrics.Fairness,
+		BaselineResetTicks: spec.BaselineResetTicks,
+	})
 	if err != nil {
 		return nil, err
 	}
+	pol := loop.Policy()
 
 	var refSearcher *oracle.Searcher
 	refCache := map[string]resource.Config{}
@@ -162,13 +171,6 @@ func Run(spec RunSpec) (*Result, error) {
 		oopt.FairnessMetric = spec.Metrics.Fairness
 		refSearcher = oracle.NewSearcher(simulator, oopt)
 	}
-
-	isolated, err := platform.MeasureIsolated()
-	if err != nil {
-		return nil, err
-	}
-	current := platform.Current()
-	baselineReset := true
 
 	columns := []string{"tick", "time", "throughput", "fairness", "objective", "worst"}
 	wr, hasWeights := pol.(weightReporter)
@@ -184,42 +186,20 @@ func Run(spec RunSpec) (*Result, error) {
 	}
 
 	res := &Result{PolicyName: pol.Name()}
-	var accT, accF, accObj, accWorst, accDist stats.Welford
+	var accWorst, accDist stats.Welford
 	var distSamples []float64
 
 	for tick := 1; tick <= spec.Ticks; tick++ {
-		ips, err := platform.Sample()
+		st, err := loop.Step()
 		if err != nil {
 			return nil, err
 		}
-		speedups := metrics.Speedups(ips, isolated)
-		t := metrics.NormalizedThroughput(spec.Metrics.Throughput, ips, isolated)
-		f := metrics.NormalizedFairness(spec.Metrics.Fairness, ips, isolated)
-		obj := 0.5*t + 0.5*f
-		worst := metrics.WorstSpeedup(ips, isolated)
-		accT.Add(t)
-		accF.Add(f)
-		accObj.Add(obj)
+		if st.ResetErr != nil {
+			return nil, st.ResetErr
+		}
+		obj := 0.5*st.Throughput + 0.5*st.Fairness
+		worst := metrics.WorstSpeedup(st.IPS, st.Isolated)
 		accWorst.Add(worst)
-
-		obs := policy.Observation{
-			Tick:          tick,
-			Time:          simulator.Now(),
-			IPS:           ips,
-			Isolated:      isolated,
-			Speedups:      speedups,
-			Throughput:    t,
-			Fairness:      f,
-			BaselineReset: baselineReset,
-		}
-		baselineReset = false
-
-		next := pol.Decide(obs, current)
-		if err := platform.Apply(next); err == nil {
-			current = platform.Current()
-		} else {
-			res.RejectedApplies++
-		}
 
 		var dist float64
 		if spec.TrackOracleDistance {
@@ -237,14 +217,14 @@ func Run(spec RunSpec) (*Result, error) {
 				}
 			}
 			if ref.Alloc != nil {
-				dist = resource.Distance(current, ref)
+				dist = resource.Distance(st.Config, ref)
 				accDist.Add(dist)
 				distSamples = append(distSamples, dist)
 			}
 		}
 
 		if series != nil {
-			row := []float64{float64(tick), simulator.Now(), t, f, obj, worst}
+			row := []float64{float64(tick), st.Time, st.Throughput, st.Fairness, obj, worst}
 			if hasWeights {
 				w := wr.LastWeights()
 				row = append(row, w.T, w.F, w.TE, w.FE, w.TP, w.FP, w.EqFrac,
@@ -255,29 +235,20 @@ func Run(spec RunSpec) (*Result, error) {
 			}
 			series.Add(row...)
 		}
-
-		// Algorithm 1 line 12-13: re-record isolated baselines every
-		// equalization period (phase and mix changes are thereby
-		// absorbed without re-initialization).
-		if tick%spec.BaselineResetTicks == 0 {
-			isolated, err = platform.MeasureIsolated()
-			if err != nil {
-				return nil, err
-			}
-			baselineReset = true
-		}
 	}
 
+	sum := loop.Summary()
 	res.Ticks = spec.Ticks
-	res.MeanThroughput = accT.Mean()
-	res.MeanFairness = accF.Mean()
-	res.MeanObjective = accObj.Mean()
+	res.MeanThroughput = sum.MeanThroughput
+	res.MeanFairness = sum.MeanFairness
+	res.MeanObjective = sum.MeanObjective
 	res.MeanWorstSpeedup = accWorst.Mean()
-	res.StdThroughput = accT.StdDev()
-	res.StdFairness = accF.StdDev()
+	res.StdThroughput = sum.StdThroughput
+	res.StdFairness = sum.StdFairness
 	res.MeanOracleDistance = accDist.Mean()
 	res.MedianOracleDistance = stats.Median(distSamples)
 	res.Applies = simulator.Applies()
+	res.RejectedApplies = sum.RejectedApplies
 	res.Trace = series
 	return res, nil
 }

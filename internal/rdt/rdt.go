@@ -4,12 +4,16 @@
 // and a RAPL-style power cap. A resource.Config is compiled into a Plan —
 // per-job class-of-service settings with the same constraints real
 // hardware imposes (contiguous, non-overlapping CAT bitmasks; MBA percent
-// steps; disjoint CPU sets) — so swapping the simulator backend for a real
-// /sys/fs/resctrl backend would not change any caller.
+// steps; disjoint CPU sets) — so the simulator backend and the real
+// resctrl backend are interchangeable behind one interface.
 //
-// The Platform interface is the minimal control+monitor surface SATORI
-// needs: apply a partition, sample per-job IPS at 10 Hz, and re-measure
-// isolated baselines. SimPlatform implements it on internal/sim.
+// The Platform interface is the control+monitor surface SATORI needs:
+// apply a partition, sample per-job IPS at 10 Hz, re-measure isolated
+// baselines, and resync compiled state after membership churn. Two
+// backends implement it: SimPlatform on internal/sim, and
+// ResctrlPlatform on the Linux resctrl filesystem layout (composing
+// ResctrlWriter with a pluggable IPS Sampler). internal/control drives
+// either through the identical Algorithm-1 tick loop.
 package rdt
 
 import (
@@ -147,11 +151,23 @@ func contiguous(m uint64) bool {
 	return m&(m+1) == 0
 }
 
-// Platform is the minimal control and monitoring surface SATORI and all
+// ConfigShapeError is the typed rejection every Platform backend uses for
+// a configuration shaped for a job set that no longer exists (stale after
+// membership churn). Shared with internal/sim via internal/resource.
+type ConfigShapeError = resource.ConfigShapeError
+
+// Platform is the complete control and monitoring surface SATORI and all
 // baseline policies run against — apply partitions, sample per-job IPS
-// each 100 ms interval, and (re)measure isolated baselines. A real
-// implementation would write resctrl schemata and read pqos counters; the
-// repository provides SimPlatform.
+// each 100 ms interval, and (re)measure isolated baselines. It is the
+// only contract internal/control's tick loop depends on, so backends are
+// interchangeable at every layer: SimPlatform drives the analytical
+// simulator, ResctrlPlatform drives the Linux resctrl filesystem layout.
+//
+// Contract notes:
+//   - Apply must reject a configuration whose dimensions do not match the
+//     live job set with a *ConfigShapeError (wrapped or direct) rather
+//     than silently misallocating.
+//   - Sample and MeasureIsolated return one value per job, in job order.
 type Platform interface {
 	// Space describes the partitionable resources and job count.
 	Space() *resource.Space
@@ -167,6 +183,32 @@ type Platform interface {
 	MeasureIsolated() ([]float64, error)
 	// JobNames labels the co-located jobs.
 	JobNames() []string
+	// Resync recompiles backend state (the hardware plan, control-group
+	// files) from the platform's live space and current configuration.
+	// It must be called after anything re-dimensions the space behind
+	// the platform's back; it is idempotent and draws no randomness.
+	Resync() error
+}
+
+// Churner is the optional membership-churn capability of a Platform:
+// admit a job, evict a job, or swap the workload in a slot. Backends
+// that cannot change their job set at runtime (e.g. a trace-driven
+// resctrl deployment) simply do not implement it; internal/control
+// surfaces that as a typed "churn unsupported" error. Implementations
+// must leave the platform fully resynced (plan recompiled, partition
+// re-split where the space changed dimension) before returning.
+type Churner interface {
+	// AddJob admits a new job running profile p, growing the space by
+	// one slot and resetting the partition to the new equal split.
+	AddJob(p *sim.Profile) error
+	// RemoveJob evicts the job in slot j; jobs above shift down one
+	// slot. The last job cannot be removed.
+	RemoveJob(j int) error
+	// ReplaceJob swaps the workload in slot j without re-dimensioning
+	// the space or touching the partition.
+	ReplaceJob(j int, p *sim.Profile) error
+	// NumJobs returns the live job count.
+	NumJobs() int
 }
 
 // SimPlatform adapts a *sim.Simulator to the Platform interface and keeps
@@ -199,6 +241,12 @@ func (p *SimPlatform) Space() *resource.Space { return p.sim.Space() }
 func (p *SimPlatform) Apply(c resource.Config) error {
 	if err := p.sim.CheckShape(c); err != nil {
 		return err
+	}
+	if p.sim.CurrentEquals(c) {
+		// Re-applying the installed partition: nothing to compile or
+		// install (the resctrl backend elides the same way, as identical
+		// MSR writes would be on hardware).
+		return nil
 	}
 	plan, err := Compile(p.sim.Space(), c)
 	if err != nil {
@@ -243,10 +291,11 @@ func (p *SimPlatform) JobNames() []string {
 // need noise-free model access.
 func (p *SimPlatform) Simulator() *sim.Simulator { return p.sim }
 
-// Resync recompiles the hardware plan from the simulator's live space and
-// current configuration. It must be called after job membership churn
-// (sim.AddJob/RemoveJob): the space changed dimension, so the cached plan
-// describes a partition of a job set that no longer exists.
+// Resync implements Platform: it recompiles the hardware plan from the
+// simulator's live space and current configuration. It must be called
+// after anything re-dimensions the space behind the platform's back —
+// the cached plan would describe a partition of a job set that no longer
+// exists. The Churner methods below resync automatically.
 func (p *SimPlatform) Resync() error {
 	plan, err := Compile(p.sim.Space(), p.sim.Current())
 	if err != nil {
@@ -255,3 +304,30 @@ func (p *SimPlatform) Resync() error {
 	p.plan = plan
 	return nil
 }
+
+// AddJob implements Churner: it admits a job into the simulator (which
+// re-splits the partition on the grown space) and resyncs the plan.
+func (p *SimPlatform) AddJob(profile *sim.Profile) error {
+	if err := p.sim.AddJob(profile); err != nil {
+		return err
+	}
+	return p.Resync()
+}
+
+// RemoveJob implements Churner: it evicts the job in slot j (the
+// simulator re-splits the shrunken space) and resyncs the plan.
+func (p *SimPlatform) RemoveJob(j int) error {
+	if err := p.sim.RemoveJob(j); err != nil {
+		return err
+	}
+	return p.Resync()
+}
+
+// ReplaceJob implements Churner: the space and partition are untouched,
+// so no resync is needed.
+func (p *SimPlatform) ReplaceJob(j int, profile *sim.Profile) error {
+	return p.sim.ReplaceJob(j, profile)
+}
+
+// NumJobs implements Churner.
+func (p *SimPlatform) NumJobs() int { return p.sim.NumJobs() }

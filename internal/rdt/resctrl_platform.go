@@ -1,0 +1,149 @@
+package rdt
+
+import (
+	"fmt"
+
+	"satori/internal/resource"
+	"satori/internal/sim"
+)
+
+// ResctrlPlatform is the Platform backend for a real Linux resctrl
+// deployment: every accepted configuration is compiled to a Plan and
+// materialized in the resctrl filesystem layout by a ResctrlWriter,
+// while per-job IPS comes from a pluggable Sampler (a perf-counter
+// reader on live hardware, a TraceSampler for replays and hermetic
+// tests). Pointing the writer's Root at /sys/fs/resctrl partitions a
+// CAT/MBA machine for real; pointing it at a scratch directory runs the
+// identical code path without privileges — which is how the end-to-end
+// tests and the CI smoke drive the full Algorithm-1 loop.
+//
+// ResctrlPlatform intentionally does not implement Churner: its job set
+// is fixed at construction (a trace has a fixed width, and live jobs are
+// pinned to control groups out of band). internal/control surfaces
+// churn attempts as a typed "churn unsupported" error.
+type ResctrlPlatform struct {
+	space   *resource.Space
+	names   []string
+	writer  ResctrlWriter
+	sampler Sampler
+	current resource.Config
+	plan    Plan
+}
+
+// NewResctrlPlatform builds the platform for len(jobNames) jobs on the
+// given machine shape, writes the initial equal-split partition to the
+// resctrl tree, and wires the sampler. The writer's Root must be set.
+func NewResctrlPlatform(spec sim.MachineSpec, jobNames []string, w ResctrlWriter, s Sampler) (*ResctrlPlatform, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(jobNames) == 0 {
+		return nil, fmt.Errorf("rdt: ResctrlPlatform needs at least one job")
+	}
+	if w.Root == "" {
+		return nil, fmt.Errorf("rdt: ResctrlPlatform needs ResctrlWriter.Root (the resctrl mount point or a scratch directory)")
+	}
+	if s == nil {
+		return nil, fmt.Errorf("rdt: ResctrlPlatform needs a Sampler")
+	}
+	space, err := spec.Space(len(jobNames))
+	if err != nil {
+		return nil, err
+	}
+	p := &ResctrlPlatform{
+		space:   space,
+		names:   append([]string(nil), jobNames...),
+		writer:  w,
+		sampler: s,
+		current: space.EqualSplit(),
+	}
+	if err := p.Resync(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Space implements Platform.
+func (p *ResctrlPlatform) Space() *resource.Space { return p.space }
+
+// Apply implements Platform: shape-check, compile, validate, then write
+// one control group per job into the resctrl tree. A configuration
+// shaped for a different job set is rejected with the typed
+// *ConfigShapeError; rewrites are skipped when the configuration is
+// unchanged, matching how identical MSR writes are elided on hardware.
+func (p *ResctrlPlatform) Apply(c resource.Config) error {
+	if err := resource.CheckShape(p.space, c); err != nil {
+		return err
+	}
+	if p.current.Equal(c) {
+		return nil
+	}
+	plan, err := Compile(p.space, c)
+	if err != nil {
+		return err
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if err := p.writer.Apply(plan); err != nil {
+		return err
+	}
+	p.current = c.Clone()
+	p.plan = plan
+	return nil
+}
+
+// Current implements Platform.
+func (p *ResctrlPlatform) Current() resource.Config { return p.current.Clone() }
+
+// Plan returns the most recently compiled hardware plan.
+func (p *ResctrlPlatform) Plan() Plan { return p.plan }
+
+// Writer returns the underlying resctrl writer (e.g. for ReadGroup
+// round-trip verification of a running deployment).
+func (p *ResctrlPlatform) Writer() ResctrlWriter { return p.writer }
+
+// Sample implements Platform: one 100 ms interval of per-job IPS from
+// the sampler, validated against the job count.
+func (p *ResctrlPlatform) Sample() ([]float64, error) {
+	ips, err := p.sampler.Sample(p.plan)
+	if err != nil {
+		return nil, fmt.Errorf("rdt: sampling IPS: %w", err)
+	}
+	if len(ips) != p.space.Jobs {
+		return nil, fmt.Errorf("rdt: sampler returned %d jobs, platform has %d", len(ips), p.space.Jobs)
+	}
+	return ips, nil
+}
+
+// MeasureIsolated implements Platform.
+func (p *ResctrlPlatform) MeasureIsolated() ([]float64, error) {
+	iso, err := p.sampler.SampleIsolated()
+	if err != nil {
+		return nil, fmt.Errorf("rdt: measuring isolated baselines: %w", err)
+	}
+	if len(iso) != p.space.Jobs {
+		return nil, fmt.Errorf("rdt: sampler returned %d isolated baselines, platform has %d", len(iso), p.space.Jobs)
+	}
+	return iso, nil
+}
+
+// JobNames implements Platform.
+func (p *ResctrlPlatform) JobNames() []string { return append([]string(nil), p.names...) }
+
+// Resync implements Platform: recompile the plan from the live space and
+// current configuration and rewrite every control group.
+func (p *ResctrlPlatform) Resync() error {
+	plan, err := Compile(p.space, p.current)
+	if err != nil {
+		return err
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if err := p.writer.Apply(plan); err != nil {
+		return err
+	}
+	p.plan = plan
+	return nil
+}

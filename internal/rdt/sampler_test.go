@@ -1,0 +1,177 @@
+package rdt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"satori/internal/sim"
+)
+
+func TestTraceSamplerReplayLoops(t *testing.T) {
+	s, err := NewTraceSampler(
+		[]float64{10, 20},
+		[][]float64{{1, 2}, {3, 4}, {5, 6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs() != 2 || s.Ticks() != 3 {
+		t.Fatalf("Jobs/Ticks = %d/%d, want 2/3", s.Jobs(), s.Ticks())
+	}
+	want := [][]float64{{1, 2}, {3, 4}, {5, 6}, {1, 2}} // wraps around
+	for i, w := range want {
+		row, err := s.Sample(Plan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] != w[0] || row[1] != w[1] {
+			t.Errorf("sample %d = %v, want %v", i, row, w)
+		}
+	}
+	iso, err := s.SampleIsolated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso[0] != 10 || iso[1] != 20 {
+		t.Errorf("isolated = %v, want [10 20]", iso)
+	}
+	// Returned slices must be copies: corrupting one must not corrupt
+	// the trace.
+	iso[0] = -1
+	iso2, _ := s.SampleIsolated()
+	if iso2[0] != 10 {
+		t.Error("SampleIsolated returned an aliased slice")
+	}
+}
+
+func TestTraceSamplerValidation(t *testing.T) {
+	if _, err := NewTraceSampler(nil, [][]float64{{1}}); err == nil {
+		t.Error("empty baselines accepted")
+	}
+	if _, err := NewTraceSampler([]float64{1}, nil); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := NewTraceSampler([]float64{1, 2}, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestIPSTraceRoundTrip(t *testing.T) {
+	iso := []float64{2.5e9, 3e9, 1.25e9}
+	rows := [][]float64{{1e9, 2e9, 3e8}, {1.5e9, 2.25e9, 4e8}}
+	var buf strings.Builder
+	if err := WriteIPSTrace(&buf, iso, rows); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadTraceSampler(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.SampleIsolated()
+	for j := range iso {
+		if got[j] != iso[j] {
+			t.Errorf("isolated[%d] = %g, want %g", j, got[j], iso[j])
+		}
+	}
+	for i := range rows {
+		row, _ := s.Sample(Plan{})
+		for j := range rows[i] {
+			if row[j] != rows[i][j] {
+				t.Errorf("row %d[%d] = %g, want %g", i, j, row[j], rows[i][j])
+			}
+		}
+	}
+}
+
+func TestReadIPSTraceErrors(t *testing.T) {
+	if _, _, err := ReadIPSTrace(strings.NewReader("# only comments\n")); err == nil {
+		t.Error("comment-only trace accepted")
+	}
+	if _, _, err := ReadIPSTrace(strings.NewReader("1,2\nnot-a-number,3\n")); err == nil {
+		t.Error("bad value accepted")
+	}
+}
+
+func TestPerfSamplerIsDocumentedStub(t *testing.T) {
+	var s Sampler = PerfSampler{Jobs: 2}
+	if _, err := s.Sample(Plan{}); !errors.Is(err, ErrPerfUnimplemented) {
+		t.Errorf("Sample error = %v, want ErrPerfUnimplemented", err)
+	}
+	if _, err := s.SampleIsolated(); !errors.Is(err, ErrPerfUnimplemented) {
+		t.Errorf("SampleIsolated error = %v, want ErrPerfUnimplemented", err)
+	}
+}
+
+func newTracePlatform(t *testing.T) *ResctrlPlatform {
+	t.Helper()
+	sampler, err := NewTraceSampler(
+		[]float64{2e9, 3e9, 2.5e9},
+		[][]float64{{1e9, 1.5e9, 1.2e9}, {1.1e9, 1.4e9, 1.3e9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewResctrlPlatform(sim.DefaultMachine(), []string{"a", "b", "c"},
+		ResctrlWriter{Root: t.TempDir()}, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Construction must already materialize the equal-split partition in the
+// resctrl tree — a freshly built platform is a fully configured machine.
+func TestResctrlPlatformInitialSplit(t *testing.T) {
+	p := newTracePlatform(t)
+	plan, err := Compile(p.Space(), p.Current())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		got, err := p.Writer().ReadGroup(j)
+		if err != nil {
+			t.Fatalf("job %d group missing after construction: %v", j, err)
+		}
+		want := plan.Jobs[j]
+		if got.CATMask != want.CATMask || got.MBAPercent != want.MBAPercent {
+			t.Errorf("job %d group = %+v, want %+v", j, got, want)
+		}
+	}
+}
+
+func TestResctrlPlatformApplyRejectsStaleShape(t *testing.T) {
+	p := newTracePlatform(t)
+	stale := p.Current()
+	for r := range stale.Alloc {
+		stale.Alloc[r] = stale.Alloc[r][:2] // same rows, a 2-job dimension
+	}
+	err := p.Apply(stale)
+	var shape *ConfigShapeError
+	if !errors.As(err, &shape) {
+		t.Fatalf("Apply error = %v, want *ConfigShapeError", err)
+	}
+	if shape.ConfigJobs != 2 || shape.SpaceJobs != 3 {
+		t.Errorf("shape = %+v, want 2 vs 3 jobs", shape)
+	}
+}
+
+func TestResctrlPlatformSampleValidatesWidth(t *testing.T) {
+	sampler, err := NewTraceSampler([]float64{1, 2}, [][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 job names over a 2-job trace: the width mismatch must surface
+	// the moment the sampler is read, not as silent misattribution.
+	p, err := NewResctrlPlatform(sim.DefaultMachine(), []string{"a", "b", "c"},
+		ResctrlWriter{Root: t.TempDir()}, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Sample(); err == nil {
+		t.Error("Sample accepted a 2-job trace on a 3-job platform")
+	}
+	if _, err := p.MeasureIsolated(); err == nil {
+		t.Error("MeasureIsolated accepted 2 baselines on a 3-job platform")
+	}
+}

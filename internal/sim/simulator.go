@@ -112,50 +112,24 @@ func (s *Simulator) Applies() int { return s.applies }
 // Current returns (a copy of) the active configuration.
 func (s *Simulator) Current() resource.Config { return s.current.Clone() }
 
-// ConfigShapeError reports an Apply (or shape check) of a configuration
-// whose dimensions do not match the live job set — the typical symptom of
-// a policy holding a configuration from before an AddJob/RemoveJob churn
-// event. It is typed so callers can distinguish "stale decision, rebuild
-// the policy" from a genuinely malformed allocation.
-type ConfigShapeError struct {
-	// ConfigResources and SpaceResources are the resource-row counts of
-	// the rejected configuration and the live space.
-	ConfigResources, SpaceResources int
-	// ConfigJobs and SpaceJobs are the job dimensions (ConfigJobs is the
-	// first mismatching row's length).
-	ConfigJobs, SpaceJobs int
-}
+// CurrentEquals reports whether c equals the installed configuration,
+// without cloning either side — the steady-state fast path for backends
+// that elide re-applying an unchanged partition.
+func (s *Simulator) CurrentEquals(c resource.Config) bool { return s.current.Equal(c) }
 
-// Error implements error.
-func (e *ConfigShapeError) Error() string {
-	return fmt.Sprintf("sim: config shape %dx%d does not match live space %dx%d (stale after job churn?)",
-		e.ConfigResources, e.ConfigJobs, e.SpaceResources, e.SpaceJobs)
-}
+// ConfigShapeError is the backend-shared typed rejection of a
+// configuration whose dimensions do not match the live job set — the
+// typical symptom of a policy holding a configuration from before an
+// AddJob/RemoveJob churn event. The type lives in internal/resource so
+// every Platform backend rejects stale shapes identically.
+type ConfigShapeError = resource.ConfigShapeError
 
 // CheckShape reports a *ConfigShapeError when c's dimensions do not match
 // the live space (e.g. a configuration decided before AddJob/RemoveJob
 // changed the job set), and nil when the shape is current. It checks only
 // dimensions, not allocation sums — Apply still runs full validation.
 func (s *Simulator) CheckShape(c resource.Config) error {
-	shapeErr := &ConfigShapeError{
-		ConfigResources: len(c.Alloc),
-		SpaceResources:  len(s.space.Resources),
-		ConfigJobs:      s.space.Jobs,
-		SpaceJobs:       s.space.Jobs,
-	}
-	if len(c.Alloc) != len(s.space.Resources) {
-		if len(c.Alloc) > 0 {
-			shapeErr.ConfigJobs = len(c.Alloc[0])
-		}
-		return shapeErr
-	}
-	for _, row := range c.Alloc {
-		if len(row) != s.space.Jobs {
-			shapeErr.ConfigJobs = len(row)
-			return shapeErr
-		}
-	}
-	return nil
+	return resource.CheckShape(s.space, c)
 }
 
 // Apply installs a new resource partitioning configuration, taking effect

@@ -3,13 +3,13 @@ package satori
 import (
 	"fmt"
 
+	"satori/internal/control"
 	"satori/internal/core"
 	"satori/internal/metrics"
 	"satori/internal/policy"
 	"satori/internal/rdt"
 	"satori/internal/resource"
 	"satori/internal/sim"
-	"satori/internal/stats"
 )
 
 // Re-exported model types. These aliases are the public names of the
@@ -32,9 +32,16 @@ type (
 	// Observation is the per-interval input every policy sees.
 	Observation = policy.Observation
 	// Platform is the control+monitoring surface policies run against.
+	// Two backends ship: the simulator (NewSession) and the Linux
+	// resctrl filesystem (rdt.ResctrlPlatform via NewSessionOn).
 	Platform = rdt.Platform
 	// Weights is SATORI's per-tick goal-weight decomposition.
 	Weights = core.Weights
+	// Status is one interval's outcome (control.Loop's per-tick record).
+	Status = control.Status
+	// Summary aggregates a session so far, including the count of
+	// policy decisions the platform rejected.
+	Summary = control.Summary
 )
 
 // Resource kinds.
@@ -56,7 +63,8 @@ const TickSeconds = sim.TickSeconds
 type SessionConfig struct {
 	// Machine defaults to DefaultMachine().
 	Machine *MachineSpec
-	// Workloads are the co-located jobs (required).
+	// Workloads are the co-located jobs (required by NewSession; unused
+	// by NewSessionOn, whose platform already fixes the job set).
 	Workloads []*Workload
 	// Policy defaults to full SATORI; use the New*Policy constructors
 	// to select a baseline. The function receives the session platform
@@ -65,7 +73,7 @@ type SessionConfig struct {
 	// Seed makes the session reproducible (default 1).
 	Seed uint64
 	// NoiseSigma is the relative IPS measurement noise (default ~2%;
-	// negative disables noise).
+	// negative disables noise). Simulator backend only.
 	NoiseSigma float64
 	// ThroughputMetric selects the throughput objective. The zero
 	// value is the DefaultThroughput sentinel, which resolves to the
@@ -93,42 +101,14 @@ const (
 	OneMinusCoV         = metrics.OneMinusCoV
 )
 
-// Status is one interval's outcome.
-type Status struct {
-	// Tick counts completed 100 ms intervals.
-	Tick int
-	// Time is elapsed seconds.
-	Time float64
-	// IPS is the observed per-job instructions/second.
-	IPS []float64
-	// Speedups is IPS over the isolated baselines.
-	Speedups []float64
-	// Throughput is the normalized system-throughput score in [0, 1].
-	Throughput float64
-	// Fairness is the normalized fairness score in [0, 1].
-	Fairness float64
-	// Config is the partition that will run during the next interval.
-	Config Config
-	// BaselineReset reports whether isolated baselines were just
-	// re-measured.
-	BaselineReset bool
-}
-
-// Session drives one co-location under a policy, one 100 ms interval at a
-// time — the library embodiment of Algorithm 1's outer loop.
+// Session drives one co-location under a policy, one 100 ms interval at
+// a time — a thin facade over internal/control's backend-agnostic loop
+// (Algorithm 1's outer loop). NewSession runs it on the simulated
+// testbed; NewSessionOn runs the identical loop on any Platform backend,
+// e.g. rdt.ResctrlPlatform against /sys/fs/resctrl.
 type Session struct {
-	platform   *rdt.SimPlatform
-	pol        Policy
-	rebuild    func() (Policy, error) // rebuilds the policy on the live space after job churn
-	tm         metrics.ThroughputMetric
-	fm         metrics.FairnessMetric
-	isolated   []float64
-	current    Config
-	tick       int
-	resetEvery int
-	pendReset  bool
-
-	accT, accF, accObj stats.Welford
+	loop     *control.Loop
+	platform Platform
 }
 
 // NewSession builds a session on the simulated platform.
@@ -152,47 +132,51 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	// rebuild constructs the policy against the platform's *live* space,
-	// so calling it again after job churn yields a policy of the right
+	cfg.Seed = seed
+	return NewSessionOn(platform, cfg)
+}
+
+// NewSessionOn builds a session driving an already-constructed Platform
+// backend — the deployment path for rdt.ResctrlPlatform (and any future
+// backend). cfg.Workloads, Machine and NoiseSigma are ignored (the
+// platform fixes all three); Policy, Seed, metrics and the baseline
+// refresh period apply as in NewSession.
+func NewSessionOn(platform Platform, cfg SessionConfig) (*Session, error) {
+	if platform == nil {
+		return nil, fmt.Errorf("satori: NewSessionOn needs a platform")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// The policy closure constructs against the platform's *live* space,
+	// so re-invoking it after job churn yields a policy of the right
 	// dimension (factories read p.Space() at call time).
-	rebuild := func() (Policy, error) {
+	build := func(p Platform) (Policy, error) {
 		if cfg.Policy != nil {
-			return cfg.Policy(platform)
+			return cfg.Policy(p)
 		}
-		return core.New(platform.Space(), core.Options{Seed: seed})
+		return core.New(p.Space(), core.Options{Seed: seed})
 	}
-	pol, err := rebuild()
+	loop, err := control.New(control.Options{
+		Platform:           platform,
+		Policy:             build,
+		Throughput:         cfg.ThroughputMetric,
+		Fairness:           cfg.FairnessMetric,
+		BaselineResetTicks: cfg.BaselineResetTicks,
+	})
 	if err != nil {
 		return nil, err
 	}
-	iso, err := platform.MeasureIsolated()
-	if err != nil {
-		return nil, err
-	}
-	resetEvery := cfg.BaselineResetTicks
-	if resetEvery <= 0 {
-		resetEvery = 100
-	}
-	// The Default* sentinels (the zero values) resolve to the paper's
-	// pairing (SumIPS + Jain); explicit choices pass through untouched.
-	tm := cfg.ThroughputMetric.Resolve()
-	fm := cfg.FairnessMetric.Resolve()
-	return &Session{
-		platform:   platform,
-		pol:        pol,
-		rebuild:    rebuild,
-		tm:         tm,
-		fm:         fm,
-		isolated:   iso,
-		current:    platform.Current(),
-		resetEvery: resetEvery,
-		pendReset:  true,
-	}, nil
+	return &Session{loop: loop, platform: platform}, nil
 }
 
 // Policy returns the active policy (e.g. to inspect SATORI's weights via
 // a type assertion to *Engine).
-func (s *Session) Policy() Policy { return s.pol }
+func (s *Session) Policy() Policy { return s.loop.Policy() }
+
+// Platform returns the backend the session drives.
+func (s *Session) Platform() Platform { return s.platform }
 
 // SpaceInfo returns the session's configuration space.
 func (s *Session) SpaceInfo() *Space { return s.platform.Space() }
@@ -201,67 +185,20 @@ func (s *Session) SpaceInfo() *Space { return s.platform.Space() }
 func (s *Session) JobNames() []string { return s.platform.JobNames() }
 
 // Step advances one 100 ms interval: sample IPS, score both goals, let
-// the policy decide, and apply the next partition.
-func (s *Session) Step() (Status, error) {
-	ips, err := s.platform.Sample()
-	if err != nil {
-		return Status{}, err
-	}
-	s.tick++
-	speedups := metrics.Speedups(ips, s.isolated)
-	t := metrics.NormalizedThroughput(s.tm, ips, s.isolated)
-	f := metrics.NormalizedFairness(s.fm, ips, s.isolated)
-	s.accT.Add(t)
-	s.accF.Add(f)
-	s.accObj.Add(0.5*t + 0.5*f)
-
-	obs := Observation{
-		Tick: s.tick, Time: float64(s.tick) * TickSeconds,
-		IPS: ips, Isolated: s.isolated, Speedups: speedups,
-		Throughput: t, Fairness: f,
-		BaselineReset: s.pendReset,
-	}
-	wasReset := s.pendReset
-	s.pendReset = false
-	next := s.pol.Decide(obs, s.current)
-	if err := s.platform.Apply(next); err == nil {
-		s.current = s.platform.Current()
-	}
-	if s.tick%s.resetEvery == 0 {
-		if iso, err := s.platform.MeasureIsolated(); err == nil {
-			s.isolated = iso
-			s.pendReset = true
-		}
-	}
-	return Status{
-		Tick: s.tick, Time: float64(s.tick) * TickSeconds,
-		IPS: ips, Speedups: speedups,
-		Throughput: t, Fairness: f,
-		Config:        s.current,
-		BaselineReset: wasReset,
-	}, nil
-}
+// the policy decide, and apply the next partition. A rejected apply or a
+// failed periodic baseline refresh is surfaced in the status
+// (Status.RejectedApply / Status.ResetErr), not silently dropped.
+func (s *Session) Step() (Status, error) { return s.loop.Step() }
 
 // ReplaceWorkload swaps the workload running in slot j for a new one —
 // a job departure plus a new arrival (Algorithm 1 line 12). Isolated
 // baselines are re-measured immediately and the policy sees a
 // BaselineReset on its next observation; SATORI requires no other
 // re-initialization (Sec. III-C).
-func (s *Session) ReplaceWorkload(j int, w *Workload) error {
-	if err := s.platform.Simulator().ReplaceJob(j, w); err != nil {
-		return err
-	}
-	iso, err := s.platform.MeasureIsolated()
-	if err != nil {
-		return err
-	}
-	s.isolated = iso
-	s.pendReset = true
-	return nil
-}
+func (s *Session) ReplaceWorkload(j int, w *Workload) error { return s.loop.ReplaceJob(j, w) }
 
 // NumJobs returns the number of currently co-located jobs.
-func (s *Session) NumJobs() int { return s.platform.Simulator().NumJobs() }
+func (s *Session) NumJobs() int { return s.loop.NumJobs() }
 
 // AddWorkload admits a new job into the co-location (a fleet-layer job
 // arrival). The configuration space changes dimension, so unlike
@@ -269,84 +206,18 @@ func (s *Session) NumJobs() int { return s.platform.Simulator().NumJobs() }
 // re-split, isolated baselines are re-measured, and the policy is rebuilt
 // on the new space — the engine re-initialization that a job-count change
 // requires (its proxy-model inputs are per-(resource, job) coordinates).
-// The session's tick counter and running aggregates carry on.
-func (s *Session) AddWorkload(w *Workload) error {
-	if err := s.platform.Simulator().AddJob(w); err != nil {
-		return err
-	}
-	return s.reinit()
-}
+// The session's tick counter and running aggregates carry on. Errors
+// with control.ErrChurnUnsupported on backends without the capability.
+func (s *Session) AddWorkload(w *Workload) error { return s.loop.AddJob(w) }
 
 // RemoveWorkload evicts the job in slot j (a departure); jobs above j
 // shift down one slot. Like AddWorkload this re-splits the partition,
 // re-measures baselines and rebuilds the policy on the shrunken space.
 // The last job cannot be removed.
-func (s *Session) RemoveWorkload(j int) error {
-	if err := s.platform.Simulator().RemoveJob(j); err != nil {
-		return err
-	}
-	return s.reinit()
-}
-
-// reinit is the common membership-change tail: recompile the hardware
-// plan, rebuild the policy on the live space, and re-record baselines so
-// the next observation carries BaselineReset (Algorithm 1 line 13,
-// extended to job-count changes).
-func (s *Session) reinit() error {
-	if err := s.platform.Resync(); err != nil {
-		return err
-	}
-	pol, err := s.rebuild()
-	if err != nil {
-		return err
-	}
-	iso, err := s.platform.MeasureIsolated()
-	if err != nil {
-		return err
-	}
-	s.pol = pol
-	s.isolated = iso
-	s.current = s.platform.Current()
-	s.pendReset = true
-	return nil
-}
+func (s *Session) RemoveWorkload(j int) error { return s.loop.RemoveJob(j) }
 
 // Run advances n intervals and returns the last status.
-func (s *Session) Run(n int) (Status, error) {
-	var last Status
-	var err error
-	for i := 0; i < n; i++ {
-		last, err = s.Step()
-		if err != nil {
-			return last, err
-		}
-	}
-	return last, nil
-}
-
-// Summary aggregates the session so far.
-type Summary struct {
-	// Ticks is the number of completed intervals.
-	Ticks int
-	// MeanThroughput and MeanFairness are run averages of the
-	// normalized scores.
-	MeanThroughput, MeanFairness float64
-	// MeanObjective is the run average of 0.5·T + 0.5·F.
-	MeanObjective float64
-}
+func (s *Session) Run(n int) (Status, error) { return s.loop.Run(n) }
 
 // Summary returns the running aggregate.
-func (s *Session) Summary() Summary {
-	return Summary{
-		Ticks:          s.tick,
-		MeanThroughput: s.accT.Mean(),
-		MeanFairness:   s.accF.Mean(),
-		MeanObjective:  s.accObj.Mean(),
-	}
-}
-
-// String renders the summary.
-func (s Summary) String() string {
-	return fmt.Sprintf("ticks=%d throughput=%.3f fairness=%.3f objective=%.3f",
-		s.Ticks, s.MeanThroughput, s.MeanFairness, s.MeanObjective)
-}
+func (s *Session) Summary() Summary { return s.loop.Summary() }

@@ -6,6 +6,11 @@ import (
 	"satori/internal/metrics"
 )
 
+// loopTM/loopFM expose the loop's resolved metric choices to the
+// metric-selection regression tests.
+func (s *Session) loopTM() metrics.ThroughputMetric { tm, _ := s.loop.Objectives(); return tm }
+func (s *Session) loopFM() metrics.FairnessMetric   { _, fm := s.loop.Objectives(); return fm }
+
 // Regression for the metric-selection aliasing bug: GeoMeanSpeedup and
 // JainIndex used to share the enum zero value with "unset", so asking
 // for exactly this pairing was silently rewritten to SumIPS + Jain.
@@ -23,11 +28,11 @@ func TestNewSessionHonorsExplicitMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.tm != metrics.GeoMeanSpeedup {
-		t.Errorf("throughput metric rewritten to %v, want geomean", sess.tm)
+	if sess.loopTM() != metrics.GeoMeanSpeedup {
+		t.Errorf("throughput metric rewritten to %v, want geomean", sess.loopTM())
 	}
-	if sess.fm != metrics.JainIndex {
-		t.Errorf("fairness metric rewritten to %v, want jain", sess.fm)
+	if sess.loopFM() != metrics.JainIndex {
+		t.Errorf("fairness metric rewritten to %v, want jain", sess.loopFM())
 	}
 }
 
@@ -42,7 +47,7 @@ func TestNewSessionDefaultMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.tm != metrics.SumIPS || sess.fm != metrics.JainIndex {
-		t.Errorf("defaults resolved to %v/%v, want sum-ips/jain", sess.tm, sess.fm)
+	if sess.loopTM() != metrics.SumIPS || sess.loopFM() != metrics.JainIndex {
+		t.Errorf("defaults resolved to %v/%v, want sum-ips/jain", sess.loopTM(), sess.loopFM())
 	}
 }
