@@ -218,6 +218,43 @@ func BenchmarkGPIncrementalPredict(b *testing.B) {
 	}
 }
 
+// benchPredictPool scores a candidate pool against the warm Window=64
+// model either one candidate at a time (the pre-batching engine path,
+// kept as the golden reference) or through the matrix-level batch solve.
+// The ns/cand metric is the per-candidate cost the BENCH_pr6.json speedup
+// gate tracks; both paths produce bit-identical mu/sigma.
+func benchPredictPool(b *testing.B, pool int, batch bool) {
+	m, _, _ := benchIncrementalModel(b, 64, 15)
+	rng := stats.NewRNG(6)
+	pts := make([][]float64, pool)
+	for i := range pts {
+		pts[i] = make([]float64, 15)
+		for d := range pts[i] {
+			pts[i][d] = rng.Float64()
+		}
+	}
+	mu := make([]float64, pool)
+	sigma := make([]float64, pool)
+	var scratch gp.PredictScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			m.PredictBatchInto(&scratch, mu, sigma, pts)
+		} else {
+			for c, x := range pts {
+				mu[c], sigma[c] = m.PredictInto(&scratch, x)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(pool), "ns/cand")
+}
+
+func BenchmarkPredictPoolPerCandidate32(b *testing.B)  { benchPredictPool(b, 32, false) }
+func BenchmarkPredictPoolBatch32(b *testing.B)         { benchPredictPool(b, 32, true) }
+func BenchmarkPredictPoolPerCandidate128(b *testing.B) { benchPredictPool(b, 128, false) }
+func BenchmarkPredictPoolBatch128(b *testing.B)        { benchPredictPool(b, 128, true) }
+
 // BenchmarkGPFit measures one proxy-model refit on a typical window.
 func BenchmarkGPFit(b *testing.B) {
 	rng := stats.NewRNG(3)

@@ -34,9 +34,14 @@ func main() {
 	seed := flag.Uint64("seed", 42, "base random seed")
 	mixes := flag.Int("mixes", 0, "cap the number of job mixes per suite (0 = paper scale)")
 	csvDir := flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
-	parallel := flag.Int("parallel", harness.WorkersFromEnv(),
+	cacheDir := flag.String("cache", "", "memoize suite cells in this directory; repeated reproductions skip unchanged (policy, mix, seed) runs")
+	envWorkers, envErr := harness.WorkersFromEnv()
+	parallel := flag.Int("parallel", envWorkers,
 		"worker pool size for independent runs (0 = one per CPU, 1 = serial; default from SATORI_PARALLEL)")
 	flag.Parse()
+	if envErr != nil {
+		log.Fatal(envErr)
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -68,6 +73,17 @@ func main() {
 		}
 	}
 	opt := harness.ExpOptions{Ticks: *ticks, Seed: *seed, MixLimit: *mixes, Workers: *parallel}
+	if *cacheDir != "" {
+		cache, err := harness.NewCellCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Cache = cache
+		defer func() {
+			hits, misses, _ := cache.Stats()
+			fmt.Printf("cell cache: %d hits, %d runs stored\n", hits, misses)
+		}()
+	}
 	for _, e := range selected {
 		start := time.Now()
 		rep, err := e.Run(opt)

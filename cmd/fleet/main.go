@@ -33,12 +33,16 @@ func main() {
 	placerName := flag.String("placer", "round-robin", "job placement strategy ("+strings.Join(fleet.PlacerNames(), ", ")+")")
 	seed := flag.Uint64("seed", 1, "fleet seed; equal seeds replay identically")
 	seconds := flag.Float64("seconds", 60, "run length in simulated seconds")
-	workers := flag.Int("workers", harness.WorkersFromEnv(),
+	envWorkers, envErr := harness.WorkersFromEnv()
+	workers := flag.Int("workers", envWorkers,
 		"node-stepping pool size (0 = one per CPU, 1 = serial; default from SATORI_PARALLEL)")
 	suite := flag.String("suite", "parsec", "workload pool jobs draw from (parsec|cloudsuite|ecp)")
 	maxJobs := flag.Int("max-jobs", 5, "max co-located jobs per node")
 	csvPath := flag.String("csv", "", "write the per-tick fleet trace to this CSV file")
 	flag.Parse()
+	if envErr != nil {
+		log.Fatal(envErr)
+	}
 
 	profiles, err := satori.Suite(*suite)
 	if err != nil {

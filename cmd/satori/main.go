@@ -44,6 +44,7 @@ func main() {
 	power := flag.Int("power", 0, "enable power-cap partitioning with this many units")
 	csvPath := flag.String("csv", "", "write the per-tick trace to this CSV file")
 	backend := flag.String("backend", "sim", "platform backend (sim|resctrl)")
+	sampled := flag.Bool("sampled", false, "extrapolate phase-stable intervals instead of evaluating them in detail (sim backend; outputs are bit-identical)")
 	resctrlRoot := flag.String("resctrl-root", "", "resctrl mount point or scratch directory (resctrl backend)")
 	tracePath := flag.String("trace", "", "IPS trace file to replay (resctrl backend; default: synthesized from the simulator)")
 	dumpSuite := flag.String("dump-profiles", "", "write a suite's workload profiles as JSON to stdout and exit (parsec|cloudsuite|ecp)")
@@ -111,6 +112,7 @@ func main() {
 			Workloads: jobs,
 			Policy:    factory,
 			Seed:      *seed,
+			Sampled:   *sampled,
 		})
 		if err != nil {
 			log.Fatal(err)

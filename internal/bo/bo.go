@@ -103,6 +103,16 @@ type PosteriorModel interface {
 	Posterior(points [][]float64) (mu []float64, cov *linalg.Matrix)
 }
 
+// BatchModel is the pool-scoring interface: one call fills the posterior
+// mean and stddev for every candidate through a single matrix-level
+// triangular solve against the shared Cholesky factor. Both *gp.GP and
+// *gp.Incremental satisfy it, and both guarantee results bit-identical to
+// per-candidate Predict — which is what lets SuggestBatch replace Suggest
+// on the engine's default path without moving a single golden byte.
+type BatchModel interface {
+	PredictBatchInto(s *gp.PredictScratch, mu, sigma []float64, points [][]float64)
+}
+
 // ErrNoFiniteScore is returned when every candidate's acquisition score is
 // NaN or infinite — a degenerate posterior (e.g. collapsed length-scale or
 // an incumbent of ±Inf), not a legitimate "hold the current config"
@@ -122,6 +132,38 @@ func Suggest(m Model, acq Acquisition, best float64, candidates [][]float64) (in
 	for i, x := range candidates {
 		mu, sigma := m.Predict(x)
 		s := acq.Score(mu, sigma, best)
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			continue
+		}
+		if s > bestScore {
+			bestIdx, bestScore = i, s
+		}
+	}
+	if bestIdx < 0 {
+		return -1, 0, ErrNoFiniteScore
+	}
+	return bestIdx, bestScore, nil
+}
+
+// SuggestBatch is Suggest over a BatchModel: the whole candidate pool is
+// scored with one PredictBatchInto call, then the selection replays
+// Suggest's exact skip-and-argmax logic (non-finite scores skipped, first
+// strict maximum wins, ErrNoFiniteScore when nothing survives). Because
+// the batched posterior is bit-identical to per-candidate Predict, the
+// chosen index and score always match Suggest's. mu and sigma are
+// caller-owned scratch of length len(candidates); scratch may be nil, in
+// which case a temporary is allocated.
+func SuggestBatch(m BatchModel, scratch *gp.PredictScratch, acq Acquisition, best float64, candidates [][]float64, mu, sigma []float64) (int, float64, error) {
+	if len(candidates) == 0 {
+		return -1, 0, errors.New("bo: no candidates to score")
+	}
+	if scratch == nil {
+		scratch = &gp.PredictScratch{}
+	}
+	m.PredictBatchInto(scratch, mu, sigma, candidates)
+	bestIdx, bestScore := -1, math.Inf(-1)
+	for i := range candidates {
+		s := acq.Score(mu[i], sigma[i], best)
 		if math.IsNaN(s) || math.IsInf(s, 0) {
 			continue
 		}

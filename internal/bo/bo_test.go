@@ -3,6 +3,7 @@ package bo
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 
 	"satori/internal/gp"
@@ -398,5 +399,77 @@ func TestThompsonSuggestAllNaNReturnsTypedError(t *testing.T) {
 	idx, err := ThompsonSuggest(nanPosterior{}, stats.NewRNG(1), [][]float64{{0}, {1}})
 	if !errors.Is(err, ErrNoFiniteScore) {
 		t.Fatalf("got idx=%d err=%v, want ErrNoFiniteScore", idx, err)
+	}
+}
+
+// TestSuggestBatchMatchesSuggest: the batched pool scorer must return the
+// identical index and bit-identical score as the per-candidate Suggest
+// across random models, pools, and acquisitions — that equivalence is what
+// lets the engine's default path switch over without moving goldens.
+func TestSuggestBatchMatchesSuggest(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	acqs := []Acquisition{EI{}, EI{Xi: 0.05}, UCB{Beta: 2}, PI{Xi: 0.01}}
+	kernels := []gp.Kernel{nil, gp.Matern52{LengthScale: 0.4, Variance: 1.2}, gp.RBF{LengthScale: 0.8, Variance: 0.5}}
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(40)
+		dim := 1 + rng.Intn(8)
+		q := 1 + rng.Intn(64)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, dim)
+			for d := range xs[i] {
+				xs[i][d] = rng.Float64()
+			}
+			ys[i] = rng.NormFloat64()
+		}
+		m := gp.NewIncremental(gp.Options{Kernel: kernels[trial%len(kernels)], Noise: 1e-4})
+		if err := m.Reset(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		pool := make([][]float64, q)
+		for i := range pool {
+			pool[i] = make([]float64, dim)
+			for d := range pool[i] {
+				pool[i][d] = rng.Float64()
+			}
+		}
+		best := ys[0]
+		for _, y := range ys {
+			if y > best {
+				best = y
+			}
+		}
+		acq := acqs[trial%len(acqs)]
+		wantIdx, wantScore, wantErr := Suggest(m, acq, best, pool)
+		mu := make([]float64, q)
+		sigma := make([]float64, q)
+		var scratch gp.PredictScratch
+		gotIdx, gotScore, gotErr := SuggestBatch(m, &scratch, acq, best, pool, mu, sigma)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: err mismatch: batch %v, per-candidate %v", trial, gotErr, wantErr)
+		}
+		if gotIdx != wantIdx || gotScore != wantScore {
+			t.Fatalf("trial %d: batch (%d, %v) != per-candidate (%d, %v)", trial, gotIdx, gotScore, wantIdx, wantScore)
+		}
+	}
+}
+
+// TestSuggestBatchEmptyAndNilScratch pins the edge-case contract: empty
+// pools error like Suggest, and a nil scratch is tolerated.
+func TestSuggestBatchEmptyAndNilScratch(t *testing.T) {
+	m := gp.NewIncremental(gp.Options{})
+	if err := m.Reset([][]float64{{0}, {1}}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SuggestBatch(m, nil, EI{}, 0, nil, nil, nil); err == nil {
+		t.Fatal("empty candidates: want error, got nil")
+	}
+	pool := [][]float64{{0.25}, {0.75}}
+	mu := make([]float64, 2)
+	sigma := make([]float64, 2)
+	idx, _, err := SuggestBatch(m, nil, EI{}, 1, pool, mu, sigma)
+	if err != nil || idx < 0 || idx >= len(pool) {
+		t.Fatalf("nil scratch: idx=%d err=%v", idx, err)
 	}
 }

@@ -13,6 +13,7 @@ package control
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"satori/internal/metrics"
 	"satori/internal/policy"
@@ -42,6 +43,47 @@ type Options struct {
 	// BaselineResetTicks is the isolated-baseline refresh period
 	// (default 100 ticks = 10 s, the equalization period).
 	BaselineResetTicks int
+	// Sampling enables Pac-Sim-style sampled simulation on backends with
+	// the rdt.FastSampler capability; zero-valued fields take defaults.
+	Sampling SamplingOptions
+}
+
+// SamplingOptions tunes phase-stability detection for sampled simulation:
+// once every job's observed IPS has stayed within a relative ε-band for K
+// consecutive ticks, the loop asks the backend to extrapolate intervals
+// (rdt.FastSampler.SampleFast) instead of evaluating them in detail,
+// until a phase change, configuration change, membership churn, or
+// baseline refresh re-triggers detailed evaluation. On the analytical
+// simulator the extrapolated observations are bit-identical to detailed
+// ones (see sim.StepSampled), so enabling sampling changes no outputs —
+// only the per-tick evaluation cost.
+type SamplingOptions struct {
+	// Enabled turns sampled simulation on. Backends without the
+	// FastSampler capability silently run every tick detailed.
+	Enabled bool
+	// Epsilon is the relative IPS band defining phase stability
+	// (default 0.1, i.e. ±10%).
+	Epsilon float64
+	// StableTicks is how many consecutive in-band ticks arm
+	// extrapolation (default 5).
+	StableTicks int
+	// MaxRun caps consecutive extrapolated ticks before a detailed
+	// re-validation is forced (default 20).
+	MaxRun int
+}
+
+// fill resolves defaulted sampling knobs.
+func (o SamplingOptions) fill() SamplingOptions {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.1
+	}
+	if o.StableTicks <= 0 {
+		o.StableTicks = 5
+	}
+	if o.MaxRun <= 0 {
+		o.MaxRun = 20
+	}
+	return o
 }
 
 // Status is one interval's outcome.
@@ -73,6 +115,15 @@ type Status struct {
 	// none was due or it succeeded). The previous baselines stay in
 	// force and the refresh is retried at the next boundary.
 	ResetErr error
+	// SampledTick reports that this interval's observation was
+	// extrapolated from phase-stable state (sampled simulation) instead
+	// of evaluated in detail.
+	SampledTick bool
+	// BadSample reports that the platform returned a non-finite or
+	// negative IPS this interval. The observation is rejected: no
+	// metrics are accumulated, the policy is not consulted, and the
+	// current configuration stays in force. Summary counts these.
+	BadSample bool
 }
 
 // StaleDecisionError is Step's typed failure when the policy emits a
@@ -119,6 +170,18 @@ type Loop struct {
 	pendReset  bool
 	rejected   int
 
+	// Sampled-simulation state: fast is non-nil only when sampling is
+	// enabled AND the backend has the capability; prevIPS/stable track
+	// the phase-stability ε-band; sampledRun counts consecutive
+	// extrapolated ticks toward MaxRun.
+	sampling     SamplingOptions
+	fast         rdt.FastSampler
+	prevIPS      []float64
+	stable       int
+	sampledRun   int
+	sampledTicks int
+	badSamples   int
+
 	accT, accF, accObj stats.Welford
 }
 
@@ -145,7 +208,7 @@ func New(opt Options) (*Loop, error) {
 	if resetEvery <= 0 {
 		resetEvery = 100
 	}
-	return &Loop{
+	l := &Loop{
 		platform:   opt.Platform,
 		pol:        pol,
 		rebuild:    rebuild,
@@ -155,7 +218,14 @@ func New(opt Options) (*Loop, error) {
 		current:    opt.Platform.Current(),
 		resetEvery: resetEvery,
 		pendReset:  true,
-	}, nil
+		sampling:   opt.Sampling.fill(),
+	}
+	if opt.Sampling.Enabled {
+		if fs, ok := opt.Platform.(rdt.FastSampler); ok {
+			l.fast = fs
+		}
+	}
+	return l, nil
 }
 
 // Platform returns the backend the loop drives.
@@ -197,13 +267,57 @@ func (l *Loop) Step() (Status, error) {
 		} else {
 			l.isolated = iso
 			l.pendReset = true
+			// A baseline refresh is a re-measurement boundary: force the
+			// stability window to re-arm through detailed ticks.
+			l.resetStability()
 		}
 	}
-	ips, err := l.platform.Sample()
-	if err != nil {
-		return Status{}, err
+	// Sampled simulation: once the phase-stability window is armed, ask
+	// the backend to extrapolate this interval. The backend refuses (with
+	// no side effects) whenever extrapolation could diverge — imminent
+	// phase boundary, configuration change, churn — and we fall through
+	// to the detailed path. MaxRun bounds how long extrapolation may run
+	// before a detailed re-validation.
+	sampled := false
+	var ips []float64
+	if l.fast != nil && l.stable >= l.sampling.StableTicks && l.sampledRun < l.sampling.MaxRun {
+		if v, ok := l.fast.SampleFast(); ok {
+			ips, sampled = v, true
+			l.sampledRun++
+			l.sampledTicks++
+		}
+	}
+	if !sampled {
+		var err error
+		ips, err = l.platform.Sample()
+		if err != nil {
+			return Status{}, err
+		}
+		l.sampledRun = 0
 	}
 	l.tick++
+	// Reject corrupt observations before they reach the metrics or the
+	// policy: a non-finite or negative IPS (a wedged hardware counter, a
+	// torn resctrl read) would silently poison the Welford aggregates and
+	// the proxy model. The tick is flagged, counted, and otherwise
+	// skipped; the current partition stays in force.
+	for _, v := range ips {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			l.badSamples++
+			l.resetStability()
+			// l.pendReset is left pending so the policy still sees the
+			// BaselineReset flag on the next accepted observation.
+			return Status{
+				Tick: l.tick, Time: float64(l.tick) * TickSeconds,
+				IPS: ips, Isolated: l.isolated,
+				ResetErr:    resetErr,
+				SampledTick: sampled,
+				BadSample:   true,
+				Config:      l.current,
+			}, nil
+		}
+	}
+	l.updateStability(ips)
 	speedups := metrics.Speedups(ips, l.isolated)
 	t := metrics.NormalizedThroughput(l.tm, ips, l.isolated)
 	f := metrics.NormalizedFairness(l.fm, ips, l.isolated)
@@ -226,6 +340,7 @@ func (l *Loop) Step() (Status, error) {
 		Throughput: t, Fairness: f,
 		BaselineReset: wasReset,
 		ResetErr:      resetErr,
+		SampledTick:   sampled,
 	}
 	if err := l.platform.Apply(next); err != nil {
 		// A shape rejection is fatal only when it is genuinely stale:
@@ -252,6 +367,45 @@ func (l *Loop) Step() (Status, error) {
 	return st, nil
 }
 
+// updateStability advances the phase-stability window: stable counts
+// consecutive ticks in which every job's IPS stayed within the relative
+// ε-band of the previous tick's observation.
+func (l *Loop) updateStability(ips []float64) {
+	if l.fast == nil {
+		return
+	}
+	if len(l.prevIPS) != len(ips) {
+		l.prevIPS = append(l.prevIPS[:0], ips...)
+		l.stable = 0
+		return
+	}
+	within := true
+	for j, v := range ips {
+		ref := math.Abs(l.prevIPS[j])
+		if ref < 1e-12 {
+			ref = 1e-12
+		}
+		if math.Abs(v-l.prevIPS[j])/ref > l.sampling.Epsilon {
+			within = false
+			break
+		}
+	}
+	if within {
+		l.stable++
+	} else {
+		l.stable = 0
+	}
+	copy(l.prevIPS, ips)
+}
+
+// resetStability disarms extrapolation until the ε-band re-fills — called
+// on baseline refreshes, membership churn, and rejected observations.
+func (l *Loop) resetStability() {
+	l.stable = 0
+	l.sampledRun = 0
+	l.prevIPS = l.prevIPS[:0]
+}
+
 // Run advances n intervals and returns the last status.
 func (l *Loop) Run(n int) (Status, error) {
 	var last Status
@@ -275,6 +429,7 @@ func (l *Loop) RefreshBaselines() error {
 	}
 	l.isolated = iso
 	l.pendReset = true
+	l.resetStability()
 	return nil
 }
 
@@ -307,6 +462,7 @@ func (l *Loop) rebuildAfterChurn() error {
 	l.isolated = iso
 	l.current = l.platform.Current()
 	l.pendReset = true
+	l.resetStability()
 	return nil
 }
 
@@ -392,6 +548,12 @@ type Summary struct {
 	// garbage is indistinguishable from one deliberately holding the
 	// current configuration.
 	RejectedApplies int
+	// SampledTicks counts intervals observed by extrapolation instead of
+	// detailed evaluation (sampled simulation).
+	SampledTicks int
+	// BadSamples counts observations rejected for non-finite or negative
+	// IPS (Status.BadSample ticks).
+	BadSamples int
 }
 
 // Summary returns the running aggregate.
@@ -404,11 +566,21 @@ func (l *Loop) Summary() Summary {
 		StdThroughput:   l.accT.StdDev(),
 		StdFairness:     l.accF.StdDev(),
 		RejectedApplies: l.rejected,
+		SampledTicks:    l.sampledTicks,
+		BadSamples:      l.badSamples,
 	}
 }
 
-// String renders the summary.
+// String renders the summary. Sampled and rejected tick counts appear
+// only when nonzero, so detailed noise-free runs render as before.
 func (s Summary) String() string {
-	return fmt.Sprintf("ticks=%d throughput=%.3f fairness=%.3f objective=%.3f",
+	out := fmt.Sprintf("ticks=%d throughput=%.3f fairness=%.3f objective=%.3f",
 		s.Ticks, s.MeanThroughput, s.MeanFairness, s.MeanObjective)
+	if s.SampledTicks > 0 {
+		out += fmt.Sprintf(" sampled=%d", s.SampledTicks)
+	}
+	if s.BadSamples > 0 {
+		out += fmt.Sprintf(" bad-samples=%d", s.BadSamples)
+	}
+	return out
 }

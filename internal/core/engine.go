@@ -131,6 +131,9 @@ type Engine struct {
 	candidateBuf [][]float64
 	candidateCfg []resource.Config
 	candCount    int
+	muBuf        []float64
+	sigmaBuf     []float64
+	batchScratch gp.PredictScratch
 }
 
 // proxyModel is the posterior surface Decide scores against — satisfied
@@ -389,12 +392,27 @@ func (e *Engine) Decide(obs policy.Observation, current resource.Config) resourc
 	// degenerate posterior (bo.ErrNoFiniteScore) or any other
 	// acquisition error holds the current configuration, but is counted
 	// in diagnostics instead of silently masquerading as a hold.
+	// The steady-state path batch-scores the whole pool with one
+	// matrix-level triangular solve (bit-identical to per-candidate
+	// scoring, so goldens are unaffected); the FullRefit ablation keeps
+	// the per-candidate bo.Suggest as the golden reference path.
+	suggest := func(acq bo.Acquisition) (int, float64, error) {
+		if e.opt.FullRefit {
+			return bo.Suggest(model, acq, best, vecs)
+		}
+		if cap(e.muBuf) < len(vecs) {
+			e.muBuf = make([]float64, len(vecs))
+			e.sigmaBuf = make([]float64, len(vecs))
+		}
+		mu, sigma := e.muBuf[:len(vecs)], e.sigmaBuf[:len(vecs)]
+		return bo.SuggestBatch(e.model, &e.batchScratch, acq, best, vecs, mu, sigma)
+	}
 	var idx int
 	var score float64
 	var err error
 	switch e.opt.Acquisition {
 	case "", "ei":
-		idx, score, err = bo.Suggest(model, bo.EI{Xi: e.opt.Xi}, best, vecs)
+		idx, score, err = suggest(bo.EI{Xi: e.opt.Xi})
 		if err != nil || idx < 0 {
 			e.acqFailures++
 			return current
@@ -408,13 +426,13 @@ func (e *Engine) Decide(obs policy.Observation, current resource.Config) resourc
 			return bestCfg
 		}
 	case "ucb":
-		idx, _, err = bo.Suggest(model, bo.UCB{Beta: 2}, best, vecs)
+		idx, _, err = suggest(bo.UCB{Beta: 2})
 		if err != nil || idx < 0 {
 			e.acqFailures++
 			return current
 		}
 	case "pi":
-		idx, _, err = bo.Suggest(model, bo.PI{Xi: e.opt.Xi}, best, vecs)
+		idx, _, err = suggest(bo.PI{Xi: e.opt.Xi})
 		if err != nil || idx < 0 {
 			e.acqFailures++
 			return current

@@ -385,6 +385,10 @@ func (n *node) admit(job *Job, now float64, opt Options) error {
 		loop, err := control.New(control.Options{
 			Platform: platform,
 			Policy:   func(rdt.Platform) (policy.Policy, error) { return factory(platform, seed) },
+			// Sampled simulation is default-on for fleet runs: node ticks
+			// are bit-identical either way on the sim backend, and
+			// phase-stable nodes skip the detailed model evaluation.
+			Sampling: control.SamplingOptions{Enabled: true},
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,226 @@
+// Batched posterior prediction: score a whole candidate pool against the
+// shared Cholesky factor with one matrix-level triangular solve.
+//
+// The per-candidate path (PredictInto) pays an O(n²) forward solve per
+// query whose subtract-accumulate chain is latency-bound; amortizing one
+// traversal of the factor over all m pool columns turns the same flops
+// into contiguous throughput-bound sweeps (linalg.SolveLowerMatrixInto).
+// Crucially the arithmetic is the *identical sequence* per candidate —
+// same kernel evaluations, same k-ascending subtractions, same divisions,
+// same accumulation order for the mean and variance dots — so batched
+// results are bit-identical to the per-candidate reference and the engine
+// can adopt them without perturbing committed goldens. The property tests
+// in batch_test.go pin that equivalence with == comparisons.
+
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"satori/internal/linalg"
+)
+
+// PredictBatch returns the posterior mean and standard deviation at every
+// query point. Allocating convenience wrapper over PredictBatchInto.
+func (g *GP) PredictBatch(points [][]float64) (mu, sigma []float64) {
+	mu = make([]float64, len(points))
+	sigma = make([]float64, len(points))
+	var s PredictScratch
+	g.PredictBatchInto(&s, mu, sigma, points)
+	return mu, sigma
+}
+
+// PredictBatchInto scores all query points into mu and sigma (each of
+// length len(points)) using one matrix-level triangular solve. After the
+// scratch has grown to the model×pool size it performs no allocations.
+// Results are bit-identical to calling PredictInto per point.
+func (g *GP) PredictBatchInto(s *PredictScratch, mu, sigma []float64, points [][]float64) {
+	predictBatch(s, mu, sigma, points, g.xs, g.alpha, g.chol, g.kernel, g.mean)
+}
+
+// PredictBatchInto is the Incremental counterpart of GP.PredictBatchInto.
+func (m *Incremental) PredictBatchInto(s *PredictScratch, mu, sigma []float64, points [][]float64) {
+	predictBatch(s, mu, sigma, points, m.xbuf[:m.n], m.alpha, m.chol, m.kernel, m.mean)
+}
+
+// PredictBatch scores all query points into mu and sigma using the model's
+// internal scratch (zero allocations at steady state; not
+// concurrency-safe — use PredictBatchInto with caller-owned scratch to
+// score one shared model from several goroutines).
+func (m *Incremental) PredictBatch(mu, sigma []float64, points [][]float64) {
+	m.PredictBatchInto(&m.scratch, mu, sigma, points)
+}
+
+// predictBatch is the shared batch-scoring kernel. For bit-identity with
+// the per-candidate path every stage accumulates in the same order
+// PredictInto does: kstar entries are independent; the matrix solve's
+// column c replays SolveLowerInto exactly; the mean and squared-norm
+// accumulators run over model rows in ascending order, matching
+// linalg.Dot.
+func predictBatch(s *PredictScratch, mu, sigma []float64, points [][]float64, xs [][]float64, alpha []float64, chol *linalg.Cholesky, kernel Kernel, mean float64) {
+	q := len(points)
+	if len(mu) != q || len(sigma) != q {
+		panic(fmt.Sprintf("gp: PredictBatch got %d mu and %d sigma for %d points", len(mu), len(sigma), q))
+	}
+	if q == 0 {
+		return
+	}
+	n := len(xs)
+	s.resizeBatch(n, q)
+	kmat, vmat := &s.kmat, &s.vmat
+	// Cross-covariance fill + posterior-mean accumulation
+	// mu_c = Σ_i k*_ic·α_i, rows ascending (matching linalg.Dot's order).
+	// The Matérn 5/2 default takes a staged concrete-type fill; anything
+	// else goes through the interface.
+	for c := range mu {
+		mu[c] = 0
+	}
+	m52, isM52 := kernel.(Matern52)
+	if isM52 {
+		fillRowsMatern52(s, kmat, mu, alpha, xs, points, m52)
+	} else {
+		for i, xi := range xs {
+			row := kmat.Data[i*q : i*q+q : i*q+q]
+			for c, x := range points {
+				row[c] = kernel.Eval(x, xi)
+			}
+			ai := alpha[i]
+			for c, v := range row {
+				mu[c] += v * ai
+			}
+		}
+	}
+	// One triangular sweep for the whole pool: V = L⁻¹·K*.
+	chol.SolveLowerMatrixInto(vmat, kmat)
+	// Squared norms ‖v_c‖², rows ascending; sigma doubles as accumulator.
+	for c := range sigma {
+		sigma[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := vmat.Data[i*q : i*q+q : i*q+q]
+		for c, v := range row {
+			sigma[c] += v * v
+		}
+	}
+	for c, x := range points {
+		mu[c] = mean + mu[c]
+		// k(x, x): every shipped kernel evaluates to exactly Variance at
+		// zero distance (r = 0, exp(-0) = 1), so the concrete fast path
+		// skips the call; the value is bit-identical to Eval(x, x).
+		var kxx float64
+		if isM52 {
+			kxx = m52.Variance
+		} else {
+			kxx = kernel.Eval(x, x)
+		}
+		variance := kxx - sigma[c]
+		if variance < 0 {
+			variance = 0
+		}
+		sigma[c] = math.Sqrt(variance)
+	}
+}
+
+// sqrt5 matches the math.Sqrt(5) constant inside Matern52.Eval.
+var sqrt5 = math.Sqrt(5)
+
+// fillRowsMatern52 is the staged cross-covariance fill for the default
+// kernel: a dim-outer squared-distance sweep over a dim-major transposed
+// pool, one sqrt/exp transform sweep, and one mean-accumulation sweep per
+// model row. Each element's value is computed by the verbatim
+// Matern52.Eval expression sequence — the squared distance still sums
+// dimension-ascending per element, the transform is Eval's exact formula
+// — so splitting the loops only removes interface dispatch and short-loop
+// overhead and lets independent elements pipeline through the
+// sqrt/div/exp units; results stay bit-identical to the per-candidate
+// path.
+func fillRowsMatern52(s *PredictScratch, kmat *linalg.Matrix, mu, alpha []float64, xs, points [][]float64, k Matern52) {
+	q := kmat.Cols
+	ls, vr := k.LengthScale, k.Variance
+	dim := 0
+	if len(xs) > 0 {
+		dim = len(xs[0])
+	}
+	// Transpose the pool once: pt[d*q+c] = points[c][d], so the distance
+	// sweep below streams contiguously for every dimension.
+	if cap(s.pt) < dim*q {
+		s.pt = make([]float64, dim*q)
+	}
+	pt := s.pt[:dim*q]
+	for c, x := range points {
+		for d, v := range x[:dim] {
+			pt[d*q+c] = v
+		}
+	}
+	for i, xi := range xs {
+		row := kmat.Data[i*q : i*q+q : i*q+q]
+		for c := range row {
+			row[c] = 0
+		}
+		for d, w := range xi {
+			col := pt[d*q : d*q+q : d*q+q]
+			for c, v := range col {
+				dd := v - w
+				row[c] += dd * dd
+			}
+		}
+		for c, d2 := range row {
+			r := math.Sqrt(d2) / ls
+			s5r := sqrt5 * r
+			row[c] = vr * (1 + s5r + 5*r*r/3) * math.Exp(-s5r)
+		}
+		ai := alpha[i]
+		for c, v := range row {
+			mu[c] += v * ai
+		}
+	}
+}
+
+// posteriorBatch is the joint-posterior kernel behind GP.Posterior and
+// Incremental.Posterior: the m query solves collapse into one matrix
+// triangular sweep, and the covariance Gram accumulates row-by-row over
+// contiguous solve rows instead of strided column dots. Accumulation
+// order per (i, j) entry matches the former per-point linalg.Dot loops,
+// so Thompson sampling sees bit-identical posteriors.
+func posteriorBatch(points [][]float64, xs [][]float64, alpha []float64, chol *linalg.Cholesky, kernel Kernel, mean float64) ([]float64, *linalg.Matrix) {
+	q := len(points)
+	n := len(xs)
+	mu := make([]float64, q)
+	kmat := linalg.NewMatrix(n, q)
+	for i, xi := range xs {
+		row := kmat.Data[i*q : i*q+q]
+		for c, x := range points {
+			row[c] = kernel.Eval(x, xi)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ai := alpha[i]
+		row := kmat.Data[i*q : i*q+q : i*q+q]
+		for c, v := range row {
+			mu[c] += v * ai
+		}
+	}
+	for c := range mu {
+		mu[c] = mean + mu[c]
+	}
+	vmat := chol.SolveLowerMatrixInto(linalg.NewMatrix(n, q), kmat)
+	cov := linalg.NewMatrix(q, q)
+	for r := 0; r < n; r++ {
+		row := vmat.Data[r*q : r*q+q : r*q+q]
+		for i, vi := range row {
+			ci := cov.Data[i*q : i*q+i+1 : i*q+i+1]
+			for j := range ci {
+				ci[j] += vi * row[j]
+			}
+		}
+	}
+	for i := 0; i < q; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(points[i], points[j]) - cov.Data[i*q+j]
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return mu, cov
+}

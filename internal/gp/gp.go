@@ -198,6 +198,13 @@ func cloneInputs(xs [][]float64) [][]float64 {
 type PredictScratch struct {
 	kstar []float64
 	v     []float64
+	// Batch workspace (PredictBatchInto): the n×m cross-covariance block
+	// and its triangular solve, stored as value matrices so steady-state
+	// batches touch the allocator only when the pool outgrows them, plus
+	// the dim-major transposed pool the staged fill streams over.
+	kmat linalg.Matrix
+	vmat linalg.Matrix
+	pt   []float64
 }
 
 // resize readies the scratch for an n-observation model.
@@ -208,6 +215,17 @@ func (s *PredictScratch) resize(n int) {
 	}
 	s.kstar = s.kstar[:n]
 	s.v = s.v[:n]
+}
+
+// resizeBatch readies the batch workspace for m query points against an
+// n-observation model.
+func (s *PredictScratch) resizeBatch(n, m int) {
+	if cap(s.kmat.Data) < n*m {
+		s.kmat.Data = make([]float64, n*m)
+		s.vmat.Data = make([]float64, n*m)
+	}
+	s.kmat.Rows, s.kmat.Cols, s.kmat.Data = n, m, s.kmat.Data[:n*m]
+	s.vmat.Rows, s.vmat.Cols, s.vmat.Data = n, m, s.vmat.Data[:n*m]
 }
 
 // Predict returns the posterior mean and standard deviation at x.
@@ -249,29 +267,9 @@ func (g *GP) PredictMean(x []float64) float64 {
 // Posterior returns the joint posterior mean vector and covariance matrix
 // over a set of query points — the ingredients for Thompson sampling and
 // other batch acquisitions. cov[i][j] = k(xi,xj) − v_iᵀv_j with
-// v_i = L⁻¹k*(xi).
+// v_i = L⁻¹k*(xi), the m solves fused into one matrix triangular sweep.
 func (g *GP) Posterior(points [][]float64) (mu []float64, cov *linalg.Matrix) {
-	m := len(points)
-	n := len(g.xs)
-	mu = make([]float64, m)
-	vs := make([][]float64, m)
-	for i, x := range points {
-		kstar := make([]float64, n)
-		for j, xi := range g.xs {
-			kstar[j] = g.kernel.Eval(x, xi)
-		}
-		mu[i] = g.mean + linalg.Dot(kstar, g.alpha)
-		vs[i] = g.chol.SolveLower(kstar)
-	}
-	cov = linalg.NewMatrix(m, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j <= i; j++ {
-			v := g.kernel.Eval(points[i], points[j]) - linalg.Dot(vs[i], vs[j])
-			cov.Set(i, j, v)
-			cov.Set(j, i, v)
-		}
-	}
-	return mu, cov
+	return posteriorBatch(points, g.xs, g.alpha, g.chol, g.kernel, g.mean)
 }
 
 // LogMarginalLikelihood returns log p(y | X) of the fitted model — useful

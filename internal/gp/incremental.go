@@ -327,25 +327,5 @@ func (m *Incremental) PredictMean(x []float64) float64 {
 // over a set of query points — same contract as GP.Posterior, for
 // Thompson sampling.
 func (m *Incremental) Posterior(points [][]float64) (mu []float64, cov *linalg.Matrix) {
-	q := len(points)
-	n := m.n
-	mu = make([]float64, q)
-	vs := make([][]float64, q)
-	for i, x := range points {
-		kstar := make([]float64, n)
-		for j := 0; j < n; j++ {
-			kstar[j] = m.kernel.Eval(x, m.xbuf[j])
-		}
-		mu[i] = m.mean + linalg.Dot(kstar, m.alpha)
-		vs[i] = m.chol.SolveLower(kstar)
-	}
-	cov = linalg.NewMatrix(q, q)
-	for i := 0; i < q; i++ {
-		for j := 0; j <= i; j++ {
-			v := m.kernel.Eval(points[i], points[j]) - linalg.Dot(vs[i], vs[j])
-			cov.Set(i, j, v)
-			cov.Set(j, i, v)
-		}
-	}
-	return mu, cov
+	return posteriorBatch(points, m.xbuf[:m.n], m.alpha, m.chol, m.kernel, m.mean)
 }

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"satori/internal/core"
+	"satori/internal/workloads"
+)
+
+func cachedSuiteSpec(t *testing.T, cache *CellCache) SuiteSpec {
+	t.Helper()
+	mixes, err := workloads.PaperMixes(workloads.SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SuiteSpec{
+		Mixes: mixes[:2],
+		Policies: []NamedFactory{
+			{Name: "satori", Factory: SatoriFactory(core.Options{})},
+			{Name: "random", Factory: RandomFactory()},
+		},
+		Base:  DefaultSuiteBase(3, 80),
+		Cache: cache,
+	}
+}
+
+// TestCellCacheHitsAreByteIdentical is the cache contract: a warm-cache
+// suite returns exactly the results of the uncached run — every float
+// round-trips through JSON bit-identically — and the second pass serves
+// every cell from disk.
+func TestCellCacheHitsAreByteIdentical(t *testing.T) {
+	cache, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := RunSuite(cachedSuiteSpec(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunSuite(cachedSuiteSpec(t, cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := cache.Stats()
+	if hits != 0 || misses != 6 { // 2 mixes × (oracle + 2 policies)
+		t.Fatalf("cold pass: %d hits, %d misses, want 0/6", hits, misses)
+	}
+	warm, err := RunSuite(cachedSuiteSpec(t, cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ = cache.Stats()
+	if hits != 6 || misses != 6 {
+		t.Fatalf("warm pass: %d hits, %d misses, want 6/6", hits, misses)
+	}
+	for _, name := range []string{"satori", "random"} {
+		for i := range uncached.Scores[name] {
+			u, c, w := uncached.Scores[name][i], cold.Scores[name][i], warm.Scores[name][i]
+			if !reflect.DeepEqual(u.Raw, c.Raw) || !reflect.DeepEqual(u.Raw, w.Raw) {
+				t.Fatalf("%s mix %d: cached result diverged:\nuncached %+v\ncold     %+v\nwarm     %+v",
+					name, i, u.Raw, c.Raw, w.Raw)
+			}
+			if u.PctThroughput != w.PctThroughput || u.PctFairness != w.PctFairness {
+				t.Fatalf("%s mix %d: normalized scores diverged", name, i)
+			}
+		}
+	}
+}
+
+// TestCellCacheKeyDiscriminates: any field that changes a run's outcome
+// must change its key.
+func TestCellCacheKeyDiscriminates(t *testing.T) {
+	cache, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes, err := workloads.PaperMixes(workloads.SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultSuiteBase(3, 80)
+	base.Profiles = mixes[0].Profiles
+	k0, err := cache.key(base, "policy:satori")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]func(RunSpec) RunSpec{
+		"seed":    func(r RunSpec) RunSpec { r.Seed++; return r },
+		"ticks":   func(r RunSpec) RunSpec { r.Ticks++; return r },
+		"noise":   func(r RunSpec) RunSpec { r.NoiseSigma = 0.05; return r },
+		"mix":     func(r RunSpec) RunSpec { r.Profiles = mixes[1].Profiles; return r },
+		"machine": func(r RunSpec) RunSpec { m := *r.Machine; m.Cores++; r.Machine = &m; return r },
+	}
+	for what, mutate := range variants {
+		k, err := cache.key(mutate(base), "policy:satori")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == k0 {
+			t.Errorf("changing %s left the cell key unchanged", what)
+		}
+	}
+	if k, _ := cache.key(base, "policy:random"); k == k0 {
+		t.Error("changing the policy identity left the cell key unchanged")
+	}
+	if k, _ := cache.key(base, "policy:satori"); k != k0 {
+		t.Error("identical specs hashed to different keys")
+	}
+}
+
+// TestCellCacheSkipsTraceCells: KeepTrace cells bypass the cache — the
+// per-tick trace is not serialized, so serving them from disk would
+// silently drop it.
+func TestCellCacheSkipsTraceCells(t *testing.T) {
+	cache, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes, err := workloads.PaperMixes(workloads.SuitePARSEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultSuiteBase(3, 40)
+	spec.Profiles = mixes[0].Profiles
+	spec.Policy = RandomFactory()
+	spec.KeepTrace = true
+	for i := 0; i < 2; i++ {
+		res, err := cache.Run(spec, "policy:random")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil {
+			t.Fatal("KeepTrace run lost its trace")
+		}
+	}
+	hits, misses, skips := cache.Stats()
+	if hits != 0 || misses != 0 || skips != 2 {
+		t.Fatalf("stats %d/%d/%d, want 0 hits, 0 misses, 2 skips", hits, misses, skips)
+	}
+}

@@ -23,6 +23,11 @@ type ExpOptions struct {
 	// produces byte-identical reports; cmd/experiments exposes this as
 	// -parallel and the SATORI_PARALLEL environment knob.
 	Workers int
+	// Cache, when non-nil, memoizes suite cells on disk so repeated
+	// reproductions skip re-simulating unchanged (policy, mix, seed)
+	// cells; cmd/experiments exposes this as -cache DIR. Reports are
+	// byte-identical with or without it.
+	Cache *CellCache
 }
 
 func (o ExpOptions) fill() ExpOptions {

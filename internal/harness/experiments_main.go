@@ -35,6 +35,7 @@ func runSuiteExperiment(opt ExpOptions, suite string, policies []NamedFactory) (
 		Policies: policies,
 		Base:     DefaultSuiteBase(opt.Seed, opt.Ticks),
 		Workers:  opt.Workers,
+		Cache:    opt.Cache,
 	})
 	return res, mixes, err
 }

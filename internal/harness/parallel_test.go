@@ -22,10 +22,19 @@ func TestResolveWorkers(t *testing.T) {
 }
 
 func TestWorkersFromEnv(t *testing.T) {
-	for env, want := range map[string]int{"": 0, "3": 3, "nope": 0, "-2": 0} {
+	for env, want := range map[string]int{"": 0, "0": 0, "3": 3} {
 		t.Setenv("SATORI_PARALLEL", env)
-		if got := WorkersFromEnv(); got != want {
-			t.Errorf("SATORI_PARALLEL=%q -> %d, want %d", env, got, want)
+		got, err := WorkersFromEnv()
+		if err != nil || got != want {
+			t.Errorf("SATORI_PARALLEL=%q -> %d, %v, want %d", env, got, err, want)
+		}
+	}
+	// Malformed and negative values must surface an error instead of
+	// silently falling back to all CPUs.
+	for _, env := range []string{"nope", "-2", "3.5", "8 "} {
+		t.Setenv("SATORI_PARALLEL", env)
+		if got, err := WorkersFromEnv(); err == nil {
+			t.Errorf("SATORI_PARALLEL=%q -> %d, want error", env, got)
 		}
 	}
 }

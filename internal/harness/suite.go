@@ -57,6 +57,12 @@ type SuiteSpec struct {
 	// reference): 0 = one worker per CPU, 1 = serial. Results are
 	// byte-identical to the serial path for any worker count.
 	Workers int
+	// Cache, when non-nil, memoizes each cell's Result on disk keyed by
+	// a content hash of the cell's full specification (see CellCache).
+	// Cache hits are bit-identical to the runs they replace, so cached
+	// and uncached suites produce the same bytes. Opt-in: golden
+	// regeneration and tests run uncached by default.
+	Cache *CellCache
 }
 
 // RunSuite runs every policy on every mix plus the Balanced Oracle
@@ -91,6 +97,15 @@ func RunSuite(spec SuiteSpec) (*SuiteResult, error) {
 		rs.Policy = factory
 		return rs
 	}
+	runCell := func(rs RunSpec, policyID string) (*Result, error) {
+		if spec.Cache != nil {
+			return spec.Cache.Run(rs, policyID)
+		}
+		return Run(rs)
+	}
+	// The oracle reference's identity must capture its search options —
+	// two suites with different oracle tunings are different cells.
+	oracleID := fmt.Sprintf("oracle:balanced|%+v", oracleOpts)
 	nPol := len(spec.Policies)
 	perMix := nPol + 1 // unit 0 of each mix is the oracle reference
 	results := make([]*Result, len(spec.Mixes)*perMix)
@@ -98,12 +113,12 @@ func RunSuite(spec SuiteSpec) (*SuiteResult, error) {
 		mix := spec.Mixes[u/perMix]
 		var err error
 		if p := u%perMix - 1; p < 0 {
-			results[u], err = Run(cellSpec(mix, OracleFactory(oracle.Balanced, oracleOpts)))
+			results[u], err = runCell(cellSpec(mix, OracleFactory(oracle.Balanced, oracleOpts)), oracleID)
 			if err != nil {
 				return fmt.Errorf("harness: oracle on mix %d: %w", mix.Index, err)
 			}
 		} else {
-			results[u], err = Run(cellSpec(mix, spec.Policies[p].Factory))
+			results[u], err = runCell(cellSpec(mix, spec.Policies[p].Factory), "policy:"+spec.Policies[p].Name)
 			if err != nil {
 				return fmt.Errorf("harness: %s on mix %d: %w", spec.Policies[p].Name, mix.Index, err)
 			}

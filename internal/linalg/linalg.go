@@ -20,6 +20,15 @@ import (
 // positive definite.
 var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
 
+// ErrIndefinite is returned by Extend when the Schur-complement pivot of
+// the appended row is not strictly positive. The pivot is computed by
+// subtraction (diag − ||w||²), so round-off on a near-duplicate point can
+// drive it ≤ 0 even when the exact matrix is SPD; without the typed error
+// the NaN from Sqrt would silently poison the factor and every subsequent
+// solve. It wraps ErrNotSPD, so errors.Is(err, ErrNotSPD) still holds for
+// callers that only care about the SPD family.
+var ErrIndefinite = fmt.Errorf("linalg: extension pivot not positive (round-off indefiniteness): %w", ErrNotSPD)
+
 // Matrix is a dense row-major matrix.
 type Matrix struct {
 	Rows, Cols int
@@ -135,7 +144,7 @@ func (c *Cholesky) grow(n int) {
 // row[i] = A(n, i) against the existing points and diag = A(n, n), it
 // computes the new factor row by one forward solve plus a scalar pivot.
 // This is the rank-1 append that keeps the GP proxy model's per-tick cost
-// quadratic instead of cubic. It returns ErrNotSPD (leaving the factor
+// quadratic instead of cubic. It returns ErrIndefinite (leaving the factor
 // unchanged) when the extended matrix loses positive definiteness; window
 // eviction is handled by refactorization (Factorize), not downdating.
 func (c *Cholesky) Extend(row []float64, diag float64) error {
@@ -160,7 +169,7 @@ func (c *Cholesky) Extend(row []float64, diag float64) error {
 		pivot -= l[n*s+k] * l[n*s+k]
 	}
 	if pivot <= 0 || math.IsNaN(pivot) {
-		return ErrNotSPD
+		return ErrIndefinite
 	}
 	l[n*s+n] = math.Sqrt(pivot)
 	c.n = n + 1
@@ -222,6 +231,61 @@ func (c *Cholesky) SolveLowerInto(dst, b []float64) []float64 {
 			sum -= l[i*s+k] * dst[k]
 		}
 		dst[i] = sum / l[i*s+i]
+	}
+	return dst
+}
+
+// SolveLowerMatrixInto solves L·Y = B for an n×m right-hand-side matrix B
+// by forward substitution, amortizing one traversal of the factor over all
+// m columns (the BLAS-3 trsm shape). dst must be n×m and may not alias b.
+//
+// Column c of the result is bit-identical to SolveLowerInto(dst, B[:,c]):
+// the inner loops subtract l[i,k]·y[k,c] for k ascending and divide by the
+// pivot, the exact operation sequence of the vector solve, so batched
+// callers can replace per-candidate solves without perturbing goldens.
+func (c *Cholesky) SolveLowerMatrixInto(dst, b *Matrix) *Matrix {
+	if b.Rows != c.n {
+		panic(fmt.Sprintf("linalg: SolveLowerMatrix dimension mismatch: %d rows vs factor size %d", b.Rows, c.n))
+	}
+	if dst.Rows != b.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: SolveLowerMatrix dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, b.Rows, b.Cols))
+	}
+	n, l, s, m := c.n, c.l, c.stride, b.Cols
+	for i := 0; i < n; i++ {
+		yi := dst.Data[i*m : i*m+m : i*m+m]
+		copy(yi, b.Data[i*m:i*m+m])
+		// Eight factor columns per sweep: the chained subtractions stay in
+		// k-ascending order (left-associative, rounded after each step),
+		// so each column's value sequence is unchanged — the unroll only
+		// cuts the loads/stores of yi per subtraction.
+		k := 0
+		for ; k+8 <= i; k += 8 {
+			l0, l1, l2, l3 := l[i*s+k], l[i*s+k+1], l[i*s+k+2], l[i*s+k+3]
+			l4, l5, l6, l7 := l[i*s+k+4], l[i*s+k+5], l[i*s+k+6], l[i*s+k+7]
+			y0 := dst.Data[(k+0)*m : (k+1)*m : (k+1)*m]
+			y1 := dst.Data[(k+1)*m : (k+2)*m : (k+2)*m]
+			y2 := dst.Data[(k+2)*m : (k+3)*m : (k+3)*m]
+			y3 := dst.Data[(k+3)*m : (k+4)*m : (k+4)*m]
+			y4 := dst.Data[(k+4)*m : (k+5)*m : (k+5)*m]
+			y5 := dst.Data[(k+5)*m : (k+6)*m : (k+6)*m]
+			y6 := dst.Data[(k+6)*m : (k+7)*m : (k+7)*m]
+			y7 := dst.Data[(k+7)*m : (k+8)*m : (k+8)*m]
+			for j, v := range yi {
+				v = v - l0*y0[j] - l1*y1[j] - l2*y2[j] - l3*y3[j]
+				yi[j] = v - l4*y4[j] - l5*y5[j] - l6*y6[j] - l7*y7[j]
+			}
+		}
+		for ; k < i; k++ {
+			lik := l[i*s+k]
+			yk := dst.Data[k*m : k*m+m : k*m+m]
+			for j, v := range yk {
+				yi[j] -= lik * v
+			}
+		}
+		pivot := l[i*s+i]
+		for j := range yi {
+			yi[j] /= pivot
+		}
 	}
 	return dst
 }

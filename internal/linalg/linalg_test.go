@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -278,9 +279,14 @@ func TestCholeskyExtendRejectsNonSPD(t *testing.T) {
 	}
 	// Appending a row that makes the matrix singular (second point equal
 	// to the first: [[4,4],[4,4]] has determinant 0) must fail and leave
-	// the factor untouched.
-	if err := c.Extend([]float64{4}, 4); err != ErrNotSPD {
-		t.Fatalf("Extend on singular append: got %v, want ErrNotSPD", err)
+	// the factor untouched. The typed ErrIndefinite lets callers trigger a
+	// rebuild fallback, and it wraps ErrNotSPD for the broader family.
+	err = c.Extend([]float64{4}, 4)
+	if !errors.Is(err, ErrIndefinite) {
+		t.Fatalf("Extend on singular append: got %v, want ErrIndefinite", err)
+	}
+	if !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("ErrIndefinite does not wrap ErrNotSPD: %v", err)
 	}
 	if c.Size() != 1 || c.LAt(0, 0) != 2 {
 		t.Errorf("failed Extend modified the factor: size %d, L(0,0)=%g", c.Size(), c.LAt(0, 0))
@@ -358,6 +364,65 @@ func TestSolveIntoMatchesAllocatingVariants(t *testing.T) {
 		if got, want := c.SolveLowerInto(dst, b), c.SolveLower(b); !equalVecs(got, want) {
 			t.Fatalf("trial %d: SolveLowerInto differs from SolveLower", trial)
 		}
+	}
+}
+
+// TestSolveLowerMatrixBitIdenticalToVectorSolve pins the contract batched
+// GP scoring depends on: every column of the matrix solve must equal the
+// corresponding vector solve bit for bit (== on float64, not a tolerance),
+// or batching would perturb the committed goldens.
+func TestSolveLowerMatrixBitIdenticalToVectorSolve(t *testing.T) {
+	rng := stats.NewRNG(91)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + int(rng.Uint64n(24))
+		m := 1 + int(rng.Uint64n(40))
+		a := randomSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewMatrix(n, m)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		dst := c.SolveLowerMatrixInto(NewMatrix(n, m), b)
+		col := make([]float64, n)
+		want := make([]float64, n)
+		for j := 0; j < m; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = b.At(i, j)
+			}
+			c.SolveLowerInto(want, col)
+			for i := 0; i < n; i++ {
+				if dst.At(i, j) != want[i] {
+					t.Fatalf("trial %d: column %d row %d: matrix solve %v != vector solve %v",
+						trial, j, i, dst.At(i, j), want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveLowerMatrixDimMismatchPanics(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []func(){
+		func() { c.SolveLowerMatrixInto(NewMatrix(2, 3), NewMatrix(3, 3)) },
+		func() { c.SolveLowerMatrixInto(NewMatrix(2, 2), NewMatrix(2, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("dimension mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
 	}
 }
 

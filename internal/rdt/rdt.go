@@ -211,6 +211,18 @@ type Churner interface {
 	NumJobs() int
 }
 
+// FastSampler is the optional sampled-simulation capability of a
+// Platform: SampleFast advances one monitoring interval by extrapolating
+// from cached phase-steady rates instead of a detailed evaluation. ok is
+// false — with no side effects — when no valid extrapolation state exists
+// (configuration change, membership churn, or an imminent phase boundary
+// since the last detailed sample); the caller must then fall back to
+// Sample. Backends without a cheap extrapolation path (e.g. resctrl,
+// where sampling IS the hardware measurement) simply do not implement it.
+type FastSampler interface {
+	SampleFast() ([]float64, bool)
+}
+
 // SimPlatform adapts a *sim.Simulator to the Platform interface and keeps
 // the compiled hardware Plan in sync, exercising the same compile path a
 // real backend would use.
@@ -271,6 +283,17 @@ func (p *SimPlatform) Plan() Plan { return p.plan }
 // Sample implements Platform.
 func (p *SimPlatform) Sample() ([]float64, error) {
 	return p.sim.Step().IPS, nil
+}
+
+// SampleFast implements FastSampler via the simulator's extrapolated
+// step. The returned IPS is bit-identical to what a detailed Sample
+// would have observed (see sim.StepSampled).
+func (p *SimPlatform) SampleFast() ([]float64, bool) {
+	sm, ok := p.sim.StepSampled()
+	if !ok {
+		return nil, false
+	}
+	return sm.IPS, true
 }
 
 // MeasureIsolated implements Platform.

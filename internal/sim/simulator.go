@@ -37,6 +37,13 @@ type Simulator struct {
 	applies int // number of Apply calls that changed the configuration
 
 	iCores, iWays, iBW, iPower int // resource row indices
+
+	// Sampled-simulation state (Pac-Sim style): the noise-free model IPS
+	// of every job as computed by the last detailed Step, valid only
+	// while nothing that feeds ipsModel can have moved — same phases,
+	// same configuration, same job set. StepSampled extrapolates from it.
+	modelIPS []float64
+	ipsValid bool
 }
 
 type job struct {
@@ -148,6 +155,9 @@ func (s *Simulator) Apply(c resource.Config) error {
 	if !s.current.Equal(c) {
 		s.current = c.Clone()
 		s.applies++
+		// A new partition changes every job's model IPS: force the next
+		// tick through the detailed path.
+		s.ipsValid = false
 	}
 	return nil
 }
@@ -171,6 +181,7 @@ func (s *Simulator) ReplaceJob(j int, p *Profile) error {
 		return err
 	}
 	s.jobs[j] = &job{profile: p}
+	s.ipsValid = false
 	return nil
 }
 
@@ -227,6 +238,7 @@ func (s *Simulator) installSpace(space *resource.Space) {
 	s.iPower = resourceIndex(space, resource.Power)
 	s.current = space.EqualSplit()
 	s.applies++
+	s.ipsValid = false
 }
 
 // phase returns job j's current phase.
@@ -367,10 +379,16 @@ func (s *Simulator) Step() Sample {
 		IPS:          make([]float64, len(s.jobs)),
 		PhaseChanged: make([]bool, len(s.jobs)),
 	}
+	if cap(s.modelIPS) < len(s.jobs) {
+		s.modelIPS = make([]float64, len(s.jobs))
+	}
+	s.modelIPS = s.modelIPS[:len(s.jobs)]
+	valid := true
 	for j, jb := range s.jobs {
 		a := s.jobAlloc(s.current, j)
 		remaining := dt
 		done := 0.0
+		advanced := false
 		for remaining > 1e-12 {
 			p := jb.phase()
 			ips := s.ipsModel(p, a)
@@ -390,11 +408,64 @@ func (s *Simulator) Step() Sample {
 				jb.workDone += adv
 				done += adv
 				remaining = 0
+				s.modelIPS[j] = ips
+				advanced = true
 			}
+		}
+		// The extrapolation cache only carries across ticks in which the
+		// whole step was one partial advance at a steady model rate: a
+		// crossed phase boundary or a stalled job changes the rate.
+		if sample.PhaseChanged[j] || !advanced {
+			valid = false
 		}
 		sample.IPS[j] = s.noisy(done / dt)
 	}
+	s.ipsValid = valid
 	s.ticks++
 	sample.Time = s.Now()
 	return sample
+}
+
+// StepSampled advances one tick by extrapolation (Pac-Sim style sampled
+// simulation): instead of re-evaluating the analytical model it reuses
+// each job's noise-free IPS cached by the last detailed Step, drawing the
+// same single noise sample per job. ok is false — with NO side effects —
+// whenever extrapolation would diverge from a detailed step: no valid
+// cache (configuration change, churn, or a stall since the last detailed
+// tick) or an imminent phase-boundary crossing; the caller must then run
+// the detailed Step. When ok is true the returned sample, the RNG stream,
+// and all job state are bit-identical to what Step would have produced,
+// which is what lets sampled runs share committed goldens.
+func (s *Simulator) StepSampled() (Sample, bool) {
+	if !s.ipsValid || len(s.modelIPS) != len(s.jobs) {
+		return Sample{}, false
+	}
+	dt := TickSeconds
+	// Refusal pass before any mutation: a job whose phase would complete
+	// this tick needs the detailed mid-tick crossing logic. The guard is
+	// the detailed branch condition verbatim, so the sampled path is taken
+	// exactly when Step would take the single partial-advance branch.
+	for j, jb := range s.jobs {
+		ips := s.modelIPS[j]
+		left := jb.phase().Instructions - jb.workDone
+		if t := left / ips; t <= dt {
+			return Sample{}, false
+		}
+	}
+	sample := Sample{
+		Tick:         s.ticks + 1,
+		IPS:          make([]float64, len(s.jobs)),
+		PhaseChanged: make([]bool, len(s.jobs)),
+	}
+	for j, jb := range s.jobs {
+		// adv, workDone, and the noisy(adv/dt) observation replicate the
+		// detailed partial-advance arithmetic exactly (done starts at 0,
+		// so done += adv is adv bit-for-bit).
+		adv := s.modelIPS[j] * dt
+		jb.workDone += adv
+		sample.IPS[j] = s.noisy(adv / dt)
+	}
+	s.ticks++
+	sample.Time = s.Now()
+	return sample, true
 }

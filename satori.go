@@ -86,6 +86,12 @@ type SessionConfig struct {
 	// BaselineResetTicks is the isolated-baseline refresh period
 	// (default 100 ticks = 10 s, the equalization period).
 	BaselineResetTicks int
+	// Sampled enables Pac-Sim-style sampled simulation: phase-stable
+	// intervals are extrapolated instead of evaluated in detail (see
+	// control.SamplingOptions). On the simulator backend the outputs are
+	// bit-identical to a fully detailed run, so this is purely a
+	// per-tick cost knob.
+	Sampled bool
 }
 
 // Objective metric choices, re-exported. The Default* sentinels are the
@@ -164,6 +170,7 @@ func NewSessionOn(platform Platform, cfg SessionConfig) (*Session, error) {
 		Throughput:         cfg.ThroughputMetric,
 		Fairness:           cfg.FairnessMetric,
 		BaselineResetTicks: cfg.BaselineResetTicks,
+		Sampling:           control.SamplingOptions{Enabled: cfg.Sampled},
 	})
 	if err != nil {
 		return nil, err
