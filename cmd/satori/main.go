@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -177,16 +178,19 @@ func newResctrlSession(machine satori.MachineSpec, jobs []*satori.Workload,
 	if root == "" {
 		return nil, fmt.Errorf("-backend resctrl needs -resctrl-root (the resctrl mount point, e.g. /sys/fs/resctrl, or a scratch directory)")
 	}
+	if err := checkResctrlRoot(root); err != nil {
+		return nil, err
+	}
 	var sampler rdt.Sampler
 	if tracePath != "" {
 		f, err := os.Open(tracePath)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("-trace %s: %w\n  pass -trace a per-tick IPS trace (see rdt.ReadIPSTrace for the format), or omit -trace to synthesize one from the simulator", tracePath, err)
 		}
 		sampler, err = rdt.LoadTraceSampler(f)
 		f.Close()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("-trace %s: %w", tracePath, err)
 		}
 	} else {
 		var err error
@@ -201,13 +205,49 @@ func newResctrlSession(machine satori.MachineSpec, jobs []*satori.Workload,
 	}
 	platform, err := rdt.NewResctrlPlatform(machine, names, rdt.ResctrlWriter{Root: root}, sampler)
 	if err != nil {
-		return nil, err
+		return nil, resctrlErr(err)
 	}
 	pol, err := genericPolicy(policyName, seed)
 	if err != nil {
 		return nil, err
 	}
-	return satori.NewSessionOn(platform, satori.SessionConfig{Policy: pol, Seed: seed})
+	sess, err := satori.NewSessionOn(platform, satori.SessionConfig{Policy: pol, Seed: seed})
+	if err != nil {
+		return nil, resctrlErr(err)
+	}
+	return sess, nil
+}
+
+// checkResctrlRoot pre-flights -resctrl-root so a missing or unwritable
+// tree fails with the remedy instead of a bare path error from deep in
+// the writer.
+func checkResctrlRoot(root string) error {
+	info, err := os.Stat(root)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return fmt.Errorf("-resctrl-root %s does not exist\n  on hardware: mount resctrl first (mount -t resctrl resctrl /sys/fs/resctrl) and run privileged\n  for a dry run: point -resctrl-root at any writable scratch directory (e.g. $(mktemp -d))", root)
+	case err != nil:
+		return fmt.Errorf("-resctrl-root %s: %w", root, err)
+	case !info.IsDir():
+		return fmt.Errorf("-resctrl-root %s is not a directory (expected the resctrl mount point or a scratch directory)", root)
+	}
+	// Probe writability the way the writer will use it: control groups
+	// are directories created directly under the root.
+	probe := filepath.Join(root, ".satori-probe")
+	if err := os.Mkdir(probe, 0o755); err != nil {
+		return fmt.Errorf("-resctrl-root %s is not writable: %v\n  on /sys/fs/resctrl this usually means satori needs to run privileged (root or CAP_SYS_ADMIN)\n  otherwise point -resctrl-root at a writable scratch directory", root, err)
+	}
+	os.Remove(probe)
+	return nil
+}
+
+// resctrlErr rewrites backend errors whose remedy is a flag change —
+// today just the stub perf sampler — and passes everything else through.
+func resctrlErr(err error) error {
+	if errors.Is(err, rdt.ErrPerfUnimplemented) {
+		return fmt.Errorf("%w\n  record a per-tick IPS trace and replay it with -trace <file>, or omit -trace to synthesize one from the simulator", err)
+	}
+	return err
 }
 
 // genericPolicy resolves the policy names that work against any Platform

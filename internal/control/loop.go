@@ -46,6 +46,10 @@ type Options struct {
 	// Sampling enables Pac-Sim-style sampled simulation on backends with
 	// the rdt.FastSampler capability; zero-valued fields take defaults.
 	Sampling SamplingOptions
+	// Resilience tunes retry/backoff, graceful degradation and the
+	// circuit breaker (see ResilienceOptions); zero-valued fields take
+	// defaults, and none of them change behavior on a fault-free run.
+	Resilience ResilienceOptions
 }
 
 // SamplingOptions tunes phase-stability detection for sampled simulation:
@@ -124,6 +128,19 @@ type Status struct {
 	// metrics are accumulated, the policy is not consulted, and the
 	// current configuration stays in force. Summary counts these.
 	BadSample bool
+	// SampleErr is a transient sampling failure this interval (a dropped
+	// reading; the 100 ms still elapsed). The loop degrades gracefully:
+	// no metrics are accumulated, the policy is not consulted, and the
+	// last good configuration stays in force. Non-transient sampling
+	// failures still abort Step.
+	SampleErr error
+	// Degraded reports this interval's observation was lost (SampleErr)
+	// and the loop held the installed partition instead of deciding.
+	Degraded bool
+	// SafeFallback reports the consecutive-failure circuit breaker
+	// tripped on this interval and installed the equal-split safe
+	// configuration (see ResilienceOptions).
+	SafeFallback bool
 }
 
 // StaleDecisionError is Step's typed failure when the policy emits a
@@ -182,6 +199,19 @@ type Loop struct {
 	sampledTicks int
 	badSamples   int
 
+	// Resilience state: consecFail is the current run of ticks that
+	// failed to land a decision; the breaker/safe-config fields back
+	// Health() and the equal-split fallback (see resilience.go).
+	resil         ResilienceOptions
+	consecFail    int
+	breakerOpen   bool
+	safeInstalled bool
+	breakerTrips  int
+	retries       int
+	sampleErrs    int
+	resetErrs     int
+	lastGoodSample, lastGoodApply int
+
 	accT, accF, accObj stats.Welford
 }
 
@@ -200,10 +230,6 @@ func New(opt Options) (*Loop, error) {
 	if err != nil {
 		return nil, err
 	}
-	iso, err := opt.Platform.MeasureIsolated()
-	if err != nil {
-		return nil, err
-	}
 	resetEvery := opt.BaselineResetTicks
 	if resetEvery <= 0 {
 		resetEvery = 100
@@ -214,12 +240,17 @@ func New(opt Options) (*Loop, error) {
 		rebuild:    rebuild,
 		tm:         opt.Throughput.Resolve(),
 		fm:         opt.Fairness.Resolve(),
-		isolated:   iso,
 		current:    opt.Platform.Current(),
 		resetEvery: resetEvery,
 		pendReset:  true,
 		sampling:   opt.Sampling.fill(),
+		resil:      opt.Resilience.fill(),
 	}
+	iso, err := l.measureIsolatedRetry()
+	if err != nil {
+		return nil, err
+	}
+	l.isolated = iso
 	if opt.Sampling.Enabled {
 		if fs, ok := opt.Platform.(rdt.FastSampler); ok {
 			l.fast = fs
@@ -248,6 +279,14 @@ func (l *Loop) Objectives() (metrics.ThroughputMetric, metrics.FairnessMetric) {
 	return l.tm, l.fm
 }
 
+// SetObjectives swaps the goal formulas mid-run — the daemon's
+// reconfigure-goal path. The Default* sentinels resolve as in Options.
+// The running aggregates keep accumulating across the switch; the next
+// interval is scored under the new pair.
+func (l *Loop) SetObjectives(tm metrics.ThroughputMetric, fm metrics.FairnessMetric) {
+	l.tm, l.fm = tm.Resolve(), fm.Resolve()
+}
+
 // Step advances one 100 ms interval: refresh isolated baselines if an
 // equalization boundary was crossed (skipped when churn already
 // refreshed them), sample IPS, score both goals, let the policy decide,
@@ -262,8 +301,12 @@ func (l *Loop) Step() (Status, error) {
 	// its own) makes the periodic refresh redundant and it is skipped.
 	var resetErr error
 	if l.tick > 0 && l.tick%l.resetEvery == 0 && !l.pendReset {
-		if iso, err := l.platform.MeasureIsolated(); err != nil {
+		if iso, err := l.measureIsolatedRetry(); err != nil {
+			// The previous baselines stay in force; the refresh retries
+			// at the next boundary. Callers distinguish transient blips
+			// (count, continue) from fatal failures via rdt.IsTransient.
 			resetErr = err
+			l.resetErrs++
 		} else {
 			l.isolated = iso
 			l.pendReset = true
@@ -291,7 +334,27 @@ func (l *Loop) Step() (Status, error) {
 		var err error
 		ips, err = l.platform.Sample()
 		if err != nil {
-			return Status{}, err
+			if !rdt.IsTransient(err) {
+				return Status{}, err
+			}
+			// A transient dropout: the interval elapsed but the reading
+			// was lost. Sampling is never retried (the 100 ms is gone) —
+			// the loop degrades gracefully instead: hold the last good
+			// configuration, skip the policy, count the miss.
+			l.tick++
+			l.sampleErrs++
+			l.sampledRun = 0
+			l.resetStability()
+			st := Status{
+				Tick: l.tick, Time: float64(l.tick) * TickSeconds,
+				Isolated: l.isolated,
+				ResetErr: resetErr,
+				SampleErr: err,
+				Degraded:  true,
+				Config:    l.current,
+			}
+			l.noteFailedTick(&st)
+			return st, nil
 		}
 		l.sampledRun = 0
 	}
@@ -307,16 +370,19 @@ func (l *Loop) Step() (Status, error) {
 			l.resetStability()
 			// l.pendReset is left pending so the policy still sees the
 			// BaselineReset flag on the next accepted observation.
-			return Status{
+			st := Status{
 				Tick: l.tick, Time: float64(l.tick) * TickSeconds,
 				IPS: ips, Isolated: l.isolated,
 				ResetErr:    resetErr,
 				SampledTick: sampled,
 				BadSample:   true,
 				Config:      l.current,
-			}, nil
+			}
+			l.noteFailedTick(&st)
+			return st, nil
 		}
 	}
+	l.lastGoodSample = l.tick
 	l.updateStability(ips)
 	speedups := metrics.Speedups(ips, l.isolated)
 	t := metrics.NormalizedThroughput(l.tm, ips, l.isolated)
@@ -342,7 +408,16 @@ func (l *Loop) Step() (Status, error) {
 		ResetErr:      resetErr,
 		SampledTick:   sampled,
 	}
-	if err := l.platform.Apply(next); err != nil {
+	err := l.platform.Apply(next)
+	// A transient rejection (a busy resctrl write, an injected chaos
+	// fault) is retried in-tick with backoff; the retry loop is inlined
+	// so the fault-free fast path allocates nothing.
+	for attempt := 1; attempt <= l.resil.MaxRetries && rdt.IsTransient(err); attempt++ {
+		l.backoff(attempt)
+		l.retries++
+		err = l.platform.Apply(next)
+	}
+	if err != nil {
 		// A shape rejection is fatal only when it is genuinely stale:
 		// churn changes the job dimension but never the resource rows,
 		// so a config with the machine's resource count and the wrong
@@ -357,13 +432,18 @@ func (l *Loop) Step() (Status, error) {
 		}
 		st.RejectedApply = err
 		l.rejected++
-	} else if !l.current.Equal(next) {
+		st.Config = l.current
+		l.noteFailedTick(&st)
+		return st, nil
+	}
+	if !l.current.Equal(next) {
 		// l.current tracks the platform's installed configuration (both
 		// are updated only here and in the churn paths), so an unchanged
 		// decision needs no re-clone — the steady-state fast path.
 		l.current = l.platform.Current()
 	}
 	st.Config = l.current
+	l.noteGoodTick()
 	return st, nil
 }
 
@@ -423,7 +503,7 @@ func (l *Loop) Run(n int) (Status, error) {
 // observation carries BaselineReset and any periodic refresh due at the
 // same boundary is skipped as redundant.
 func (l *Loop) RefreshBaselines() error {
-	iso, err := l.platform.MeasureIsolated()
+	iso, err := l.measureIsolatedRetry()
 	if err != nil {
 		return err
 	}
@@ -440,7 +520,7 @@ func (l *Loop) RefreshBaselines() error {
 // carry on. The churn methods below call the same tail (minus the
 // resync, which rdt.Churner implementations already performed).
 func (l *Loop) Reinit() error {
-	if err := l.platform.Resync(); err != nil {
+	if err := l.retryTransient(l.platform.Resync); err != nil {
 		return err
 	}
 	return l.rebuildAfterChurn()
@@ -454,7 +534,7 @@ func (l *Loop) rebuildAfterChurn() error {
 	if err != nil {
 		return err
 	}
-	iso, err := l.platform.MeasureIsolated()
+	iso, err := l.measureIsolatedRetry()
 	if err != nil {
 		return err
 	}
@@ -554,6 +634,19 @@ type Summary struct {
 	// BadSamples counts observations rejected for non-finite or negative
 	// IPS (Status.BadSample ticks).
 	BadSamples int
+	// SampleErrors counts intervals whose observation was lost to a
+	// transient sampling failure (Status.Degraded ticks).
+	SampleErrors int
+	// ResetErrs counts periodic baseline refreshes that failed after
+	// retries (Status.ResetErr ticks); the stale baselines stayed in
+	// force until the next boundary.
+	ResetErrs int
+	// Retries counts in-tick retry attempts of transient
+	// Apply/MeasureIsolated/Resync failures.
+	Retries int
+	// BreakerTrips counts circuit-breaker openings — equal-split safe
+	// fallbacks after a run of consecutive failed ticks.
+	BreakerTrips int
 }
 
 // Summary returns the running aggregate.
@@ -568,11 +661,15 @@ func (l *Loop) Summary() Summary {
 		RejectedApplies: l.rejected,
 		SampledTicks:    l.sampledTicks,
 		BadSamples:      l.badSamples,
+		SampleErrors:    l.sampleErrs,
+		ResetErrs:       l.resetErrs,
+		Retries:         l.retries,
+		BreakerTrips:    l.breakerTrips,
 	}
 }
 
-// String renders the summary. Sampled and rejected tick counts appear
-// only when nonzero, so detailed noise-free runs render as before.
+// String renders the summary. Fault counters appear only when nonzero,
+// so detailed noise-free runs render byte-identically to before.
 func (s Summary) String() string {
 	out := fmt.Sprintf("ticks=%d throughput=%.3f fairness=%.3f objective=%.3f",
 		s.Ticks, s.MeanThroughput, s.MeanFairness, s.MeanObjective)
@@ -581,6 +678,18 @@ func (s Summary) String() string {
 	}
 	if s.BadSamples > 0 {
 		out += fmt.Sprintf(" bad-samples=%d", s.BadSamples)
+	}
+	if s.SampleErrors > 0 {
+		out += fmt.Sprintf(" sample-errors=%d", s.SampleErrors)
+	}
+	if s.ResetErrs > 0 {
+		out += fmt.Sprintf(" reset-errors=%d", s.ResetErrs)
+	}
+	if s.Retries > 0 {
+		out += fmt.Sprintf(" retries=%d", s.Retries)
+	}
+	if s.BreakerTrips > 0 {
+		out += fmt.Sprintf(" breaker-trips=%d", s.BreakerTrips)
 	}
 	return out
 }

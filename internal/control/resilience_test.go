@@ -1,0 +1,360 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"satori/internal/metrics"
+	"satori/internal/policy"
+	"satori/internal/rdt"
+	"satori/internal/resource"
+	"satori/internal/sim"
+	"satori/internal/workloads"
+)
+
+// newFaultLoop builds a loop over a sim platform wrapped in a fault
+// injector running the given script.
+func newFaultLoop(t *testing.T, script rdt.FaultScript, opt Options) (*Loop, *rdt.FaultInjector) {
+	t.Helper()
+	profiles := workloads.PARSEC()[:3]
+	simulator, err := sim.New(sim.DefaultMachine(), profiles, sim.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := rdt.NewSimPlatform(simulator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script.Sleep = func(time.Duration) {} // no wall-clock in tests
+	platform, err := rdt.NewFaultInjector(inner, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := rdt.InjectorOf(platform)
+	opt.Platform = platform
+	if opt.Policy == nil {
+		opt.Policy = func(rdt.Platform) (policy.Policy, error) { return policy.Static{}, nil }
+	}
+	loop, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, fi
+}
+
+// With retries disabled, every scripted fault maps 1:1 onto a loop
+// counter: the Summary/Health tallies must exactly reconcile against the
+// injector's ground truth.
+func TestLoopFaultCountersMatchScriptExactly(t *testing.T) {
+	script := rdt.FaultScript{
+		Faults: []rdt.Fault{
+			{Op: rdt.OpSample, Kind: rdt.FaultNaN, Call: 10},
+			{Op: rdt.OpSample, Kind: rdt.FaultNegative, Call: 20},
+			{Op: rdt.OpSample, Kind: rdt.FaultError, Call: 30, Repeat: 2},
+			{Op: rdt.OpMeasureIsolated, Kind: rdt.FaultError, Call: 2},
+			{Op: rdt.OpApply, Kind: rdt.FaultError, Call: 5, Repeat: 3},
+		},
+	}
+	loop, fi := newFaultLoop(t, script, Options{
+		BaselineResetTicks: 50,
+		Resilience:         ResilienceOptions{MaxRetries: -1, BreakerThreshold: 10},
+	})
+	degraded, bad, rejected, resets := 0, 0, 0, 0
+	for tick := 1; tick <= 120; tick++ {
+		st, err := loop.Step()
+		if err != nil {
+			t.Fatalf("tick %d: loop crashed: %v", tick, err)
+		}
+		if st.Degraded {
+			degraded++
+			if st.SampleErr == nil || len(st.IPS) != 0 {
+				t.Errorf("tick %d: degraded status inconsistent: %+v", tick, st)
+			}
+		}
+		if st.BadSample {
+			bad++
+		}
+		if st.RejectedApply != nil {
+			rejected++
+		}
+		if st.ResetErr != nil {
+			resets++
+			if !rdt.IsTransient(st.ResetErr) {
+				t.Errorf("tick %d: injected reset error not transient: %v", tick, st.ResetErr)
+			}
+		}
+	}
+	if degraded != 2 || bad != 2 || rejected != 3 || resets != 1 {
+		t.Errorf("per-tick counts = degraded %d bad %d rejected %d resets %d, want 2 2 3 1",
+			degraded, bad, rejected, resets)
+	}
+	sum := loop.Summary()
+	counts := fi.Counts()
+	if sum.BadSamples != counts.SampleNaNs+counts.SampleNegatives {
+		t.Errorf("BadSamples = %d, injector corrupted %d", sum.BadSamples, counts.SampleNaNs+counts.SampleNegatives)
+	}
+	if sum.SampleErrors != counts.SampleErrors {
+		t.Errorf("SampleErrors = %d, injector dropped %d", sum.SampleErrors, counts.SampleErrors)
+	}
+	if sum.RejectedApplies != counts.ApplyErrors {
+		t.Errorf("RejectedApplies = %d, injector rejected %d", sum.RejectedApplies, counts.ApplyErrors)
+	}
+	if sum.ResetErrs != counts.MeasureErrors {
+		t.Errorf("ResetErrs = %d, injector failed %d measurements", sum.ResetErrs, counts.MeasureErrors)
+	}
+	if sum.Retries != 0 || sum.BreakerTrips != 0 {
+		t.Errorf("retries %d trips %d, want 0 0 (retries disabled, faults scattered)", sum.Retries, sum.BreakerTrips)
+	}
+	h := loop.Health()
+	if h.BadSamples != sum.BadSamples || h.SampleErrors != sum.SampleErrors ||
+		h.RejectedApplies != sum.RejectedApplies || h.ResetErrs != sum.ResetErrs {
+		t.Errorf("Health counters %+v disagree with Summary %+v", h, sum)
+	}
+	if !h.Healthy() || h.ConsecutiveFailures != 0 || h.TicksSinceGoodSample != 0 || h.TicksSinceGoodApply != 0 {
+		t.Errorf("loop should have fully recovered by tick 120: %+v", h)
+	}
+}
+
+// Bounded retry absorbs short transient bursts: a 1-call Apply fault and
+// a 2-call MeasureIsolated burst vanish behind retries, costing only the
+// Retries counter — no rejected applies, no reset errors.
+func TestLoopRetryAbsorbsTransientBursts(t *testing.T) {
+	script := rdt.FaultScript{
+		Faults: []rdt.Fault{
+			{Op: rdt.OpApply, Kind: rdt.FaultError, Call: 5},
+			{Op: rdt.OpMeasureIsolated, Kind: rdt.FaultError, Call: 2, Repeat: 2},
+		},
+	}
+	var slept []time.Duration
+	loop, _ := newFaultLoop(t, script, Options{
+		BaselineResetTicks: 50,
+		Resilience: ResilienceOptions{
+			MaxRetries:  2,
+			BackoffBase: time.Millisecond,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		},
+	})
+	for tick := 1; tick <= 60; tick++ {
+		st, err := loop.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if st.RejectedApply != nil || st.ResetErr != nil || st.Degraded {
+			t.Errorf("tick %d: burst leaked through retries: %+v", tick, st)
+		}
+	}
+	sum := loop.Summary()
+	if sum.Retries != 3 || sum.RejectedApplies != 0 || sum.ResetErrs != 0 {
+		t.Errorf("retries %d rejected %d resets %d, want 3 0 0", sum.Retries, sum.RejectedApplies, sum.ResetErrs)
+	}
+	// Backoff doubles per attempt: apply retry waits 1 ms; the measure
+	// burst waits 1 ms then 2 ms.
+	want := []time.Duration{time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("backoff sleeps = %v, want %v", slept, want)
+	}
+	// The apply fault fires mid-run (tick 5), after the construction-time
+	// measure burst (calls 2-3).
+	if slept[0] != want[0] || slept[1] != want[1] || slept[2] != want[2] {
+		t.Errorf("backoff sleeps = %v, want %v", slept, want)
+	}
+}
+
+// movePolicy always decides a fixed non-equal-split configuration, so a
+// breaker fallback to the equal split is observable in Status.Config.
+type movePolicy struct{ cfg resource.Config }
+
+func (movePolicy) Name() string { return "move" }
+
+func (p movePolicy) Decide(policy.Observation, resource.Config) resource.Config { return p.cfg }
+
+// A sustained failure run must trip the circuit breaker onto the
+// equal-split safe configuration, stay open while the failures continue,
+// and close on the first clean tick — with the policy's configuration
+// reinstated by the next decision.
+func TestLoopBreakerFallsBackToEqualSplit(t *testing.T) {
+	script := rdt.FaultScript{
+		Faults: []rdt.Fault{{Op: rdt.OpSample, Kind: rdt.FaultError, Call: 20, Repeat: 15}},
+	}
+	profiles := workloads.PARSEC()[:3]
+	simulator, err := sim.New(sim.DefaultMachine(), profiles, sim.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := rdt.NewSimPlatform(simulator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script.Sleep = func(time.Duration) {}
+	platform, err := rdt.NewFaultInjector(inner, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal := platform.Space().EqualSplit()
+	moved := equal.Clone()
+	moved.Alloc[0][0]++
+	moved.Alloc[0][1]--
+	if err := platform.Space().Validate(moved); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+	loop, err := New(Options{
+		Platform:   platform,
+		Policy:     func(rdt.Platform) (policy.Policy, error) { return movePolicy{cfg: moved}, nil },
+		Resilience: ResilienceOptions{BreakerThreshold: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 1; tick <= 45; tick++ {
+		st, err := loop.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		h := loop.Health()
+		switch {
+		case tick < 20:
+			if !st.Config.Equal(moved) {
+				t.Errorf("tick %d: policy config not installed", tick)
+			}
+			if h.BreakerOpen {
+				t.Errorf("tick %d: breaker open before any fault", tick)
+			}
+		case tick < 29: // failure run building up
+			if !st.Config.Equal(moved) {
+				t.Errorf("tick %d: config changed before breaker threshold", tick)
+			}
+			if h.ConsecutiveFailures != tick-19 {
+				t.Errorf("tick %d: consecutive failures = %d, want %d", tick, h.ConsecutiveFailures, tick-19)
+			}
+		case tick == 29: // 10th consecutive failure: trip
+			if !st.SafeFallback {
+				t.Error("tick 29: SafeFallback not flagged on the tripping tick")
+			}
+			if !st.Config.Equal(equal) {
+				t.Errorf("tick 29: config = %v, want equal split", st.Config.Alloc)
+			}
+			if !h.BreakerOpen || h.BreakerTrips != 1 {
+				t.Errorf("tick 29: health = %+v, want breaker open after 1 trip", h)
+			}
+		case tick <= 34: // still failing, breaker holds
+			if st.SafeFallback {
+				t.Errorf("tick %d: SafeFallback re-flagged while already open", tick)
+			}
+			if !st.Config.Equal(equal) || !h.BreakerOpen {
+				t.Errorf("tick %d: safe config not held while open", tick)
+			}
+		case tick == 35: // first clean tick: close, decide again
+			if h.BreakerOpen || h.ConsecutiveFailures != 0 {
+				t.Errorf("tick 35: breaker did not close on recovery: %+v", h)
+			}
+			if !st.Config.Equal(moved) {
+				t.Error("tick 35: policy configuration not reinstated after recovery")
+			}
+		default:
+			if h.BreakerOpen {
+				t.Errorf("tick %d: breaker re-opened without faults", tick)
+			}
+		}
+	}
+	sum := loop.Summary()
+	if sum.BreakerTrips != 1 || sum.SampleErrors != 15 {
+		t.Errorf("summary = %+v, want 1 trip, 15 sample errors", sum)
+	}
+}
+
+// A fault-free run through an idle injector must be byte-identical to an
+// unwrapped run — the resilience machinery is inert without faults.
+func TestLoopResilienceInertWithoutFaults(t *testing.T) {
+	run := func(inject bool) ([]Status, Summary) {
+		profiles := workloads.PARSEC()[:3]
+		simulator, err := sim.New(sim.DefaultMachine(), profiles, sim.Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var platform rdt.Platform
+		platform, err = rdt.NewSimPlatform(simulator)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inject {
+			platform, err = rdt.NewFaultInjector(platform, rdt.FaultScript{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		loop, err := New(Options{
+			Platform: platform,
+			Policy:   func(rdt.Platform) (policy.Policy, error) { return policy.Static{}, nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Status
+		for tick := 1; tick <= 150; tick++ {
+			st, err := loop.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, st)
+		}
+		return out, loop.Summary()
+	}
+	bare, bareSum := run(false)
+	wrapped, wrappedSum := run(true)
+	if bareSum != wrappedSum {
+		t.Errorf("summaries diverge: %+v != %+v", wrappedSum, bareSum)
+	}
+	for i := range bare {
+		a, b := bare[i], wrapped[i]
+		if a.Throughput != b.Throughput || a.Fairness != b.Fairness || a.BaselineReset != b.BaselineReset {
+			t.Fatalf("tick %d: statuses diverge: %+v != %+v", i+1, b, a)
+		}
+		for j := range a.IPS {
+			if a.IPS[j] != b.IPS[j] {
+				t.Fatalf("tick %d job %d: IPS diverges", i+1, j)
+			}
+		}
+	}
+}
+
+// Identical fault scripts must replay identically — chaos is
+// deterministic by construction.
+func TestLoopFaultRunDeterministic(t *testing.T) {
+	run := func() Summary {
+		script := rdt.FaultScript{Seed: 3, SampleErrorRate: 0.05, ApplyErrorRate: 0.05}
+		loop, _ := newFaultLoop(t, script, Options{})
+		for tick := 1; tick <= 200; tick++ {
+			if _, err := loop.Step(); err != nil {
+				t.Fatalf("tick %d: %v", tick, err)
+			}
+		}
+		return loop.Summary()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same script diverged: %+v != %+v", a, b)
+	}
+	if a.SampleErrors == 0 && a.RejectedApplies == 0 && a.Retries == 0 {
+		t.Error("5% fault rates injected nothing over 200 ticks — script not wired?")
+	}
+}
+
+// SetObjectives swaps the goal formulas mid-run without disturbing the
+// loop.
+func TestLoopSetObjectives(t *testing.T) {
+	loop, _ := newFaultLoop(t, rdt.FaultScript{}, Options{})
+	if _, err := loop.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	loop.SetObjectives(metrics.GeoMeanSpeedup, metrics.OneMinusCoV)
+	tm, fm := loop.Objectives()
+	if tm != metrics.GeoMeanSpeedup || fm != metrics.OneMinusCoV {
+		t.Errorf("objectives = %v/%v after switch", tm, fm)
+	}
+	if _, err := loop.Run(5); err != nil {
+		t.Fatalf("loop unusable after goal switch: %v", err)
+	}
+	if loop.Summary().Ticks != 10 {
+		t.Errorf("ticks = %d, want 10 (aggregates carry across the switch)", loop.Summary().Ticks)
+	}
+}

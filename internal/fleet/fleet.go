@@ -436,7 +436,10 @@ func (n *node) step() error {
 		}
 		return err
 	}
-	if st.ResetErr != nil {
+	// A transient baseline-refresh failure does not kill the node: the
+	// stale baselines hold and the loop retries at the next boundary
+	// (the node's Summary counts it). Fatal reset failures still abort.
+	if st.ResetErr != nil && !rdt.IsTransient(st.ResetErr) {
 		return st.ResetErr
 	}
 	n.last = st

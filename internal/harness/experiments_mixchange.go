@@ -62,7 +62,9 @@ func RunMixChange(opt ExpOptions) (*Report, error) {
 			if err != nil {
 				return outcome{}, err
 			}
-			if st.ResetErr != nil {
+			// Transient refresh failures are survivable (stale baselines
+			// hold; the loop's Summary counts them) — only fatal ones abort.
+			if st.ResetErr != nil && !rdt.IsTransient(st.ResetErr) {
 				return outcome{}, st.ResetErr
 			}
 			obj := 0.5*st.Throughput + 0.5*st.Fairness

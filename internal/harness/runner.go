@@ -75,6 +75,11 @@ type RunSpec struct {
 	OracleOptions oracle.Options
 	// KeepTrace retains the full per-tick series in the result.
 	KeepTrace bool
+	// Faults, when non-nil, wraps the platform in a deterministic fault
+	// injector running this script (resilience experiments). Nil leaves
+	// the platform bare and the run byte-identical to builds without
+	// this field.
+	Faults *rdt.FaultScript
 }
 
 // Result aggregates one run.
@@ -111,6 +116,11 @@ type Result struct {
 	// counter, a policy emitting garbage was indistinguishable from one
 	// that deliberately held the current configuration.
 	RejectedApplies int
+	// TransientResets counts periodic baseline refreshes that failed
+	// transiently (rdt.IsTransient) and were survived: the stale
+	// baselines stayed in force until the next boundary. A fatal reset
+	// failure still aborts the run.
+	TransientResets int
 	// Trace holds per-tick columns when KeepTrace was set:
 	// tick, time, throughput, fairness, objective, worst, and — when
 	// the policy exposes them — wT, wF, wTE, wFE, wTP, wFP, satobj,
@@ -150,8 +160,15 @@ func Run(spec RunSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var loopPlatform rdt.Platform = platform
+	if spec.Faults != nil {
+		loopPlatform, err = rdt.NewFaultInjector(platform, *spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+	}
 	loop, err := control.New(control.Options{
-		Platform:           platform,
+		Platform:           loopPlatform,
 		Policy:             func(rdt.Platform) (policy.Policy, error) { return spec.Policy(platform, spec.Seed) },
 		Throughput:         spec.Metrics.Throughput,
 		Fairness:           spec.Metrics.Fairness,
@@ -194,7 +211,10 @@ func Run(spec RunSpec) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if st.ResetErr != nil {
+		// A transient baseline-refresh failure is survivable: the stale
+		// baselines stay in force and the refresh retries next boundary.
+		// Only a fatal (non-retry-safe) failure aborts the experiment.
+		if st.ResetErr != nil && !rdt.IsTransient(st.ResetErr) {
 			return nil, st.ResetErr
 		}
 		obj := 0.5*st.Throughput + 0.5*st.Fairness
@@ -249,6 +269,7 @@ func Run(spec RunSpec) (*Result, error) {
 	res.MedianOracleDistance = stats.Median(distSamples)
 	res.Applies = simulator.Applies()
 	res.RejectedApplies = sum.RejectedApplies
+	res.TransientResets = sum.ResetErrs
 	res.Trace = series
 	return res, nil
 }

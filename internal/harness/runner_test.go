@@ -194,6 +194,37 @@ func TestRejectedAppliesSurfaced(t *testing.T) {
 	}
 }
 
+// A transient baseline-refresh failure must not abort the experiment:
+// the run completes, and Result counts the survived refresh failures.
+func TestRunSurvivesTransientResetFailure(t *testing.T) {
+	spec := smokeSpec(t, SatoriFactory(core.Options{}))
+	spec.Ticks = 120
+	// MeasureIsolated call 1 is the initial baseline; call 2 is the
+	// tick-100 refresh. Repeat 3 outlasts the loop's default 2 retries,
+	// so the refresh fails for the tick and the stale baselines hold.
+	spec.Faults = &rdt.FaultScript{Faults: []rdt.Fault{
+		{Op: rdt.OpMeasureIsolated, Kind: rdt.FaultError, Call: 2, Repeat: 3},
+	}}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("transient reset failure aborted the run: %v", err)
+	}
+	if res.Ticks != 120 {
+		t.Errorf("Ticks = %d, want 120", res.Ticks)
+	}
+	if res.TransientResets != 1 {
+		t.Errorf("TransientResets = %d, want 1", res.TransientResets)
+	}
+	// Fault-free runs report zero.
+	clean, err := Run(smokeSpec(t, SatoriFactory(core.Options{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.TransientResets != 0 {
+		t.Errorf("clean run has TransientResets = %d", clean.TransientResets)
+	}
+}
+
 // TestRunIncrementalMatchesFullRefit is the suite-level golden check for
 // the incremental proxy path: identical specs run with the default
 // (incremental) engine and with FullRefit must produce bit-identical

@@ -1,0 +1,489 @@
+package rdt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"satori/internal/resource"
+	"satori/internal/sim"
+	"satori/internal/stats"
+)
+
+// TransientError marks a platform failure as retry-safe: the operation
+// failed for a reason expected to clear on its own (a busy resctrl file,
+// a dropped counter read, a momentary EAGAIN), as opposed to a fatal
+// condition (a desynced plan, an exhausted trace, a misconfigured root).
+// internal/control's resilience policies only ever retry or absorb
+// transient failures; anything else still aborts the run, so a genuine
+// deployment bug cannot hide behind the retry machinery.
+type TransientError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string { return "rdt: transient: " + e.Err.Error() }
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient reports retry-safety (the IsTransient marker method).
+func (e *TransientError) Transient() bool { return true }
+
+// Transient wraps err as retry-safe. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether any error in err's chain declares itself
+// retry-safe via a `Transient() bool` method (the same duck-typed
+// convention net.Error uses for Timeout).
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// FaultOp identifies which Platform operation a fault targets.
+type FaultOp int
+
+const (
+	// OpApply targets Platform.Apply.
+	OpApply FaultOp = iota
+	// OpSample targets Platform.Sample.
+	OpSample
+	// OpMeasureIsolated targets Platform.MeasureIsolated.
+	OpMeasureIsolated
+	// OpResync targets Platform.Resync.
+	OpResync
+	numFaultOps
+)
+
+// String returns the op's script-DSL name.
+func (op FaultOp) String() string {
+	switch op {
+	case OpApply:
+		return "apply"
+	case OpSample:
+		return "sample"
+	case OpMeasureIsolated:
+		return "measure"
+	case OpResync:
+		return "resync"
+	}
+	return fmt.Sprintf("FaultOp(%d)", int(op))
+}
+
+// FaultKind selects what an injected fault does to the targeted call.
+type FaultKind int
+
+const (
+	// FaultError fails the call with a transient error (an Apply
+	// rejection, a Sample dropout, a busy MeasureIsolated/Resync). For
+	// OpSample the underlying interval still elapses — the measurement
+	// is lost, not the time — so replay determinism is preserved.
+	FaultError FaultKind = iota
+	// FaultNaN corrupts one job's IPS to NaN (OpSample only): the torn
+	//-read/wedged-counter case Status.BadSample exists for.
+	FaultNaN
+	// FaultNegative corrupts one job's IPS to a negative value
+	// (OpSample only).
+	FaultNegative
+	// FaultLatency delays the call through the script's Sleep hook and
+	// then lets it succeed — a slow resctrl write or perf read.
+	FaultLatency
+)
+
+// String returns the kind's script-DSL name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultError:
+		return "error"
+	case FaultNaN:
+		return "nan"
+	case FaultNegative:
+		return "negative"
+	case FaultLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scripted fault: Kind fires on the Repeat consecutive
+// calls of Op starting at the Call-th call (1-based, counted per op).
+type Fault struct {
+	Op   FaultOp
+	Kind FaultKind
+	// Call is the 1-based call index of Op at which the fault starts.
+	Call int
+	// Repeat is how many consecutive calls fire (default 1).
+	Repeat int
+}
+
+// FaultScript configures a FaultInjector: a deterministic list of
+// scripted faults, optionally layered with seeded random fault rates.
+// Scripted faults make counter assertions exact; rates model sustained
+// background flakiness in soak runs. Both are fully reproducible — all
+// randomness derives from Seed.
+type FaultScript struct {
+	// Faults fire at exact per-op call indices.
+	Faults []Fault
+	// Seed drives the random-rate stream (default 1).
+	Seed uint64
+	// Per-op random fault probabilities in [0, 1). Random sample faults
+	// alternate dropout / NaN corruption from the seeded stream.
+	ApplyErrorRate, SampleErrorRate, SampleCorruptRate float64
+	MeasureErrorRate, ResyncErrorRate                  float64
+	// Latency is the delay a FaultLatency fault injects (default 1 ms).
+	Latency time.Duration
+	// Sleep performs latency injection (default time.Sleep). Tests
+	// install a recorder so scripted latency stays wall-clock free.
+	Sleep func(time.Duration)
+}
+
+// FaultCounts tallies every fault a FaultInjector actually injected,
+// keyed the way the control loop's Summary/Health counters observe them
+// — the ground truth a soak test reconciles against.
+type FaultCounts struct {
+	// ApplyErrors counts transient Apply rejections.
+	ApplyErrors int
+	// SampleErrors counts Sample dropouts (interval elapsed, reading lost).
+	SampleErrors int
+	// SampleNaNs and SampleNegatives count corrupted Sample readings.
+	SampleNaNs, SampleNegatives int
+	// MeasureErrors counts failed MeasureIsolated calls.
+	MeasureErrors int
+	// ResyncErrors counts failed Resync calls.
+	ResyncErrors int
+	// Latencies counts injected delays (which then succeed).
+	Latencies int
+}
+
+// Total is the number of injected faults of any kind.
+func (c FaultCounts) Total() int {
+	return c.ApplyErrors + c.SampleErrors + c.SampleNaNs + c.SampleNegatives +
+		c.MeasureErrors + c.ResyncErrors + c.Latencies
+}
+
+// FaultInjector is a chaos wrapper around any Platform: it forwards every
+// operation to the inner backend, deterministically injecting the faults
+// its script calls for — transient Apply rejections, Sample dropouts and
+// NaN/negative IPS corruption, MeasureIsolated and Resync failures, and
+// latency spikes. Every injected error is marked Transient, so the
+// control loop's retry/degradation policies engage exactly as they would
+// for real platform flakiness, and every injection is counted so tests
+// can reconcile loop counters against ground truth.
+//
+// Construct via NewFaultInjector, which preserves the inner platform's
+// optional capabilities (Churner, FastSampler) in the returned value.
+// With a zero-value script the wrapper is a transparent pass-through.
+type FaultInjector struct {
+	inner  Platform
+	script FaultScript
+	rng    *stats.RNG
+	calls  [numFaultOps]int
+	counts FaultCounts
+	// scripted[op] maps a call index to the fault kind firing there.
+	scripted [numFaultOps]map[int]FaultKind
+}
+
+// NewFaultInjector wraps inner with the script. The returned Platform
+// additionally implements Churner and/or FastSampler exactly when inner
+// does, so capability probes behave as if the injector were not there.
+// Churn and fast-sample calls pass through un-faulted: the script targets
+// the four core Platform operations, where every control-loop failure
+// path lives.
+func NewFaultInjector(inner Platform, script FaultScript) (Platform, error) {
+	if script.Seed == 0 {
+		script.Seed = 1
+	}
+	if script.Latency <= 0 {
+		script.Latency = time.Millisecond
+	}
+	if script.Sleep == nil {
+		script.Sleep = time.Sleep
+	}
+	fi := &FaultInjector{inner: inner, script: script, rng: stats.NewRNG(script.Seed)}
+	for op := FaultOp(0); op < numFaultOps; op++ {
+		fi.scripted[op] = map[int]FaultKind{}
+	}
+	for _, f := range script.Faults {
+		if f.Op < 0 || f.Op >= numFaultOps {
+			return nil, fmt.Errorf("rdt: fault script: unknown op %d", int(f.Op))
+		}
+		if f.Call < 1 {
+			return nil, fmt.Errorf("rdt: fault script: %s fault needs a 1-based call index, got %d", f.Op, f.Call)
+		}
+		if (f.Kind == FaultNaN || f.Kind == FaultNegative) && f.Op != OpSample {
+			return nil, fmt.Errorf("rdt: fault script: %s corruption only applies to sample, not %s", f.Kind, f.Op)
+		}
+		repeat := f.Repeat
+		if repeat < 1 {
+			repeat = 1
+		}
+		for i := 0; i < repeat; i++ {
+			fi.scripted[f.Op][f.Call+i] = f.Kind
+		}
+	}
+	churner, hasChurn := inner.(Churner)
+	fast, hasFast := inner.(FastSampler)
+	switch {
+	case hasChurn && hasFast:
+		return &churnFastFaultPlatform{churnFaultPlatform{fi, churner}, fast}, nil
+	case hasChurn:
+		return &churnFaultPlatform{fi, churner}, nil
+	case hasFast:
+		return &fastFaultPlatform{fi, fast}, nil
+	default:
+		return fi, nil
+	}
+}
+
+// InjectorOf unwraps the *FaultInjector behind a Platform returned by
+// NewFaultInjector (regardless of which capability wrapper it is), so
+// callers can read Counts. ok is false for un-wrapped platforms.
+func InjectorOf(p Platform) (*FaultInjector, bool) {
+	if c, ok := p.(interface{ injector() *FaultInjector }); ok {
+		return c.injector(), true
+	}
+	return nil, false
+}
+
+func (f *FaultInjector) injector() *FaultInjector { return f }
+
+// Counts returns the faults injected so far.
+func (f *FaultInjector) Counts() FaultCounts { return f.counts }
+
+// Calls returns how many times op has been invoked through the injector.
+func (f *FaultInjector) Calls(op FaultOp) int { return f.calls[op] }
+
+// Inner returns the wrapped platform.
+func (f *FaultInjector) Inner() Platform { return f.inner }
+
+// next advances op's call counter and resolves the fault (if any) firing
+// on this call: scripted faults first, then the seeded random stream.
+// The random stream draws exactly one uniform per call with a nonzero
+// rate, so enabling an op's rate does not perturb other ops' draws.
+func (f *FaultInjector) next(op FaultOp, rate, corruptRate float64) (FaultKind, bool) {
+	f.calls[op]++
+	if k, ok := f.scripted[op][f.calls[op]]; ok {
+		return k, true
+	}
+	if rate <= 0 && corruptRate <= 0 {
+		return 0, false
+	}
+	u := f.rng.Float64()
+	if u < rate {
+		return FaultError, true
+	}
+	if u < rate+corruptRate {
+		// Alternate the two corruption kinds deterministically.
+		if f.counts.SampleNaNs <= f.counts.SampleNegatives {
+			return FaultNaN, true
+		}
+		return FaultNegative, true
+	}
+	return 0, false
+}
+
+// Space implements Platform.
+func (f *FaultInjector) Space() *resource.Space { return f.inner.Space() }
+
+// Current implements Platform.
+func (f *FaultInjector) Current() resource.Config { return f.inner.Current() }
+
+// JobNames implements Platform.
+func (f *FaultInjector) JobNames() []string { return f.inner.JobNames() }
+
+// Apply implements Platform, injecting transient rejections and latency
+// spikes per the script.
+func (f *FaultInjector) Apply(c resource.Config) error {
+	switch kind, fire := f.next(OpApply, f.script.ApplyErrorRate, 0); {
+	case !fire:
+	case kind == FaultLatency:
+		f.counts.Latencies++
+		f.script.Sleep(f.script.Latency)
+	default:
+		f.counts.ApplyErrors++
+		return Transient(fmt.Errorf("injected apply rejection (call %d)", f.calls[OpApply]))
+	}
+	return f.inner.Apply(c)
+}
+
+// Sample implements Platform. A FaultError dropout still advances the
+// inner platform's interval — the 100 ms elapsed on the machine, only
+// the reading was lost — so a faulted run stays tick-aligned with a
+// clean one. Corruption faults flip job 0's reading to NaN or a negative
+// value after the genuine sample.
+func (f *FaultInjector) Sample() ([]float64, error) {
+	kind, fire := f.next(OpSample, f.script.SampleErrorRate, f.script.SampleCorruptRate)
+	if fire && kind == FaultLatency {
+		f.counts.Latencies++
+		f.script.Sleep(f.script.Latency)
+	}
+	ips, err := f.inner.Sample()
+	if err != nil || !fire || kind == FaultLatency {
+		return ips, err
+	}
+	switch kind {
+	case FaultError:
+		f.counts.SampleErrors++
+		return nil, Transient(fmt.Errorf("injected sample dropout (call %d)", f.calls[OpSample]))
+	case FaultNaN:
+		f.counts.SampleNaNs++
+		out := append([]float64(nil), ips...)
+		out[0] = math.NaN()
+		return out, nil
+	case FaultNegative:
+		f.counts.SampleNegatives++
+		out := append([]float64(nil), ips...)
+		out[0] = -out[0] - 1
+		return out, nil
+	}
+	return ips, nil
+}
+
+// MeasureIsolated implements Platform, injecting transient failures.
+func (f *FaultInjector) MeasureIsolated() ([]float64, error) {
+	switch kind, fire := f.next(OpMeasureIsolated, f.script.MeasureErrorRate, 0); {
+	case !fire:
+	case kind == FaultLatency:
+		f.counts.Latencies++
+		f.script.Sleep(f.script.Latency)
+	default:
+		f.counts.MeasureErrors++
+		return nil, Transient(fmt.Errorf("injected isolated-measurement failure (call %d)", f.calls[OpMeasureIsolated]))
+	}
+	return f.inner.MeasureIsolated()
+}
+
+// Resync implements Platform, injecting transient failures.
+func (f *FaultInjector) Resync() error {
+	switch kind, fire := f.next(OpResync, f.script.ResyncErrorRate, 0); {
+	case !fire:
+	case kind == FaultLatency:
+		f.counts.Latencies++
+		f.script.Sleep(f.script.Latency)
+	default:
+		f.counts.ResyncErrors++
+		return Transient(fmt.Errorf("injected resync failure (call %d)", f.calls[OpResync]))
+	}
+	return f.inner.Resync()
+}
+
+// churnFaultPlatform adds pass-through Churner forwarding (churn already
+// resyncs internally; the script's resync faults target explicit Resync
+// calls, keeping counter reconciliation exact).
+type churnFaultPlatform struct {
+	*FaultInjector
+	churner Churner
+}
+
+// AddJob implements Churner.
+func (p *churnFaultPlatform) AddJob(profile *sim.Profile) error { return p.churner.AddJob(profile) }
+
+// RemoveJob implements Churner.
+func (p *churnFaultPlatform) RemoveJob(j int) error { return p.churner.RemoveJob(j) }
+
+// ReplaceJob implements Churner.
+func (p *churnFaultPlatform) ReplaceJob(j int, profile *sim.Profile) error {
+	return p.churner.ReplaceJob(j, profile)
+}
+
+// NumJobs implements Churner.
+func (p *churnFaultPlatform) NumJobs() int { return p.churner.NumJobs() }
+
+// fastFaultPlatform adds pass-through FastSampler forwarding.
+type fastFaultPlatform struct {
+	*FaultInjector
+	fast FastSampler
+}
+
+// SampleFast implements FastSampler.
+func (p *fastFaultPlatform) SampleFast() ([]float64, bool) { return p.fast.SampleFast() }
+
+// churnFastFaultPlatform carries both optional capabilities.
+type churnFastFaultPlatform struct {
+	churnFaultPlatform
+	fast FastSampler
+}
+
+// SampleFast implements FastSampler.
+func (p *churnFastFaultPlatform) SampleFast() ([]float64, bool) { return p.fast.SampleFast() }
+
+// ParseFaultScript parses the compact fault-script DSL used by command
+// lines (cmd/satorid -fault, the CI soak smoke):
+//
+//	spec     := entry ("," entry)*
+//	entry    := op ":" kind "@" call ["x" repeat]
+//	op       := "apply" | "sample" | "measure" | "resync"
+//	kind     := "error" | "nan" | "negative" | "latency"
+//
+// e.g. "sample:nan@50,apply:error@100x3,resync:error@200" injects a NaN
+// reading on the 50th sample, rejects the 100th–102nd applies, and fails
+// the 200th resync. Call indices are 1-based and per-op.
+func ParseFaultScript(spec string) (FaultScript, error) {
+	var script FaultScript
+	if strings.TrimSpace(spec) == "" {
+		return script, nil
+	}
+	ops := map[string]FaultOp{"apply": OpApply, "sample": OpSample, "measure": OpMeasureIsolated, "resync": OpResync}
+	kinds := map[string]FaultKind{"error": FaultError, "nan": FaultNaN, "negative": FaultNegative, "latency": FaultLatency}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		opKind, at, ok := strings.Cut(entry, "@")
+		if !ok {
+			return script, fmt.Errorf("rdt: fault spec %q: missing @call", entry)
+		}
+		opName, kindName, ok := strings.Cut(opKind, ":")
+		if !ok {
+			return script, fmt.Errorf("rdt: fault spec %q: want op:kind@call", entry)
+		}
+		op, ok := ops[opName]
+		if !ok {
+			return script, fmt.Errorf("rdt: fault spec %q: unknown op %q (valid: %s)", entry, opName, keyList(ops))
+		}
+		kind, ok := kinds[kindName]
+		if !ok {
+			return script, fmt.Errorf("rdt: fault spec %q: unknown kind %q (valid: %s)", entry, kindName, keyList(kinds))
+		}
+		if (kind == FaultNaN || kind == FaultNegative) && op != OpSample {
+			return script, fmt.Errorf("rdt: fault spec %q: %s corruption only applies to sample", entry, kind)
+		}
+		callStr, repeatStr, hasRepeat := strings.Cut(at, "x")
+		call, err := strconv.Atoi(callStr)
+		if err != nil || call < 1 {
+			return script, fmt.Errorf("rdt: fault spec %q: bad call index %q", entry, callStr)
+		}
+		repeat := 1
+		if hasRepeat {
+			repeat, err = strconv.Atoi(repeatStr)
+			if err != nil || repeat < 1 {
+				return script, fmt.Errorf("rdt: fault spec %q: bad repeat %q", entry, repeatStr)
+			}
+		}
+		script.Faults = append(script.Faults, Fault{Op: op, Kind: kind, Call: call, Repeat: repeat})
+	}
+	return script, nil
+}
+
+// keyList renders a map's keys sorted, for error messages.
+func keyList[V any](m map[string]V) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

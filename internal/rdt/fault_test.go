@@ -1,0 +1,304 @@
+package rdt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"satori/internal/sim"
+	"satori/internal/workloads"
+)
+
+func newFaultTestPlatform(t *testing.T, script FaultScript) (Platform, *FaultInjector) {
+	t.Helper()
+	profiles := workloads.PARSEC()[:3]
+	simulator, err := sim.New(sim.DefaultMachine(), profiles, sim.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewSimPlatform(simulator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewFaultInjector(inner, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, ok := InjectorOf(p)
+	if !ok {
+		t.Fatal("InjectorOf failed on a freshly wrapped platform")
+	}
+	return p, fi
+}
+
+// Transient marking must survive wrapping and be absent from ordinary
+// errors, since the control loop's retry policies key off it.
+func TestTransientErrorChain(t *testing.T) {
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Error("bare error reported transient")
+	}
+	tr := Transient(base)
+	if !IsTransient(tr) {
+		t.Error("Transient(err) not reported transient")
+	}
+	wrapped := fmt.Errorf("context: %w", tr)
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient not detected through the chain")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("cause lost through Transient wrapper")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}
+
+// The injector must preserve the inner platform's optional capabilities:
+// a SimPlatform (Churner + FastSampler) stays both; a ResctrlPlatform
+// (neither) stays neither.
+func TestFaultInjectorPreservesCapabilities(t *testing.T) {
+	p, _ := newFaultTestPlatform(t, FaultScript{})
+	if _, ok := p.(Churner); !ok {
+		t.Error("churn capability lost through the injector")
+	}
+	if _, ok := p.(FastSampler); !ok {
+		t.Error("fast-sampler capability lost through the injector")
+	}
+
+	sampler, err := NewTraceSampler([]float64{2e9}, [][]float64{{1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewResctrlPlatform(sim.DefaultMachine(), []string{"a"},
+		ResctrlWriter{Root: t.TempDir()}, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := NewFaultInjector(rp, FaultScript{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wrapped.(Churner); ok {
+		t.Error("injector invented a churn capability the inner platform lacks")
+	}
+	if _, ok := wrapped.(FastSampler); ok {
+		t.Error("injector invented a fast-sampler capability the inner platform lacks")
+	}
+	if _, ok := InjectorOf(wrapped); !ok {
+		t.Error("InjectorOf failed on the capability-free wrapper")
+	}
+}
+
+// With a zero-value script the injector is a transparent pass-through:
+// the sampled stream matches an unwrapped platform's bit for bit.
+func TestFaultInjectorTransparentWhenIdle(t *testing.T) {
+	profiles := workloads.PARSEC()[:3]
+	mk := func() *SimPlatform {
+		simulator, err := sim.New(sim.DefaultMachine(), profiles, sim.Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewSimPlatform(simulator)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bare := mk()
+	wrapped, err := NewFaultInjector(mk(), FaultScript{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 50; tick++ {
+		want, err1 := bare.Sample()
+		got, err2 := wrapped.Sample()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("tick %d job %d: %v != %v", tick, j, got[j], want[j])
+			}
+		}
+	}
+	fi, _ := InjectorOf(wrapped)
+	if c := fi.Counts(); c.Total() != 0 {
+		t.Errorf("idle script injected faults: %+v", c)
+	}
+}
+
+// Scripted faults fire at exactly the scripted per-op call indices, with
+// the scripted kinds, and are all counted.
+func TestFaultInjectorScriptExact(t *testing.T) {
+	slept := 0
+	script := FaultScript{
+		Faults: []Fault{
+			{Op: OpSample, Kind: FaultNaN, Call: 3},
+			{Op: OpSample, Kind: FaultNegative, Call: 5},
+			{Op: OpSample, Kind: FaultError, Call: 7, Repeat: 2},
+			{Op: OpApply, Kind: FaultError, Call: 2, Repeat: 3},
+			{Op: OpMeasureIsolated, Kind: FaultError, Call: 1},
+			{Op: OpResync, Kind: FaultError, Call: 1},
+			{Op: OpSample, Kind: FaultLatency, Call: 10},
+		},
+		Sleep: func(time.Duration) { slept++ },
+	}
+	p, fi := newFaultTestPlatform(t, script)
+
+	if _, err := p.MeasureIsolated(); !IsTransient(err) {
+		t.Errorf("measure call 1: err = %v, want transient", err)
+	}
+	if _, err := p.MeasureIsolated(); err != nil {
+		t.Errorf("measure call 2: unexpected %v", err)
+	}
+	if err := p.Resync(); !IsTransient(err) {
+		t.Errorf("resync call 1: err = %v, want transient", err)
+	}
+
+	for call := 1; call <= 10; call++ {
+		ips, err := p.Sample()
+		switch call {
+		case 3:
+			if err != nil || !math.IsNaN(ips[0]) {
+				t.Errorf("sample call %d: want NaN corruption, got %v %v", call, ips, err)
+			}
+		case 5:
+			if err != nil || ips[0] >= 0 {
+				t.Errorf("sample call %d: want negative corruption, got %v %v", call, ips, err)
+			}
+		case 7, 8:
+			if !IsTransient(err) {
+				t.Errorf("sample call %d: err = %v, want transient dropout", call, err)
+			}
+		default:
+			if err != nil {
+				t.Errorf("sample call %d: unexpected %v", call, err)
+			}
+			for j, v := range ips {
+				if math.IsNaN(v) || v < 0 {
+					t.Errorf("sample call %d job %d: corrupt value %v outside script", call, j, v)
+				}
+			}
+		}
+	}
+
+	cfg := p.Space().EqualSplit()
+	for call := 1; call <= 5; call++ {
+		err := p.Apply(cfg)
+		if want := call >= 2 && call <= 4; want != IsTransient(err) {
+			t.Errorf("apply call %d: err = %v, want transient=%v", call, err, want)
+		}
+	}
+
+	want := FaultCounts{
+		ApplyErrors: 3, SampleErrors: 2, SampleNaNs: 1, SampleNegatives: 1,
+		MeasureErrors: 1, ResyncErrors: 1, Latencies: 1,
+	}
+	if got := fi.Counts(); got != want {
+		t.Errorf("counts = %+v, want %+v", got, want)
+	}
+	if slept != 1 {
+		t.Errorf("Sleep hook called %d times, want 1", slept)
+	}
+	if fi.Calls(OpSample) != 10 || fi.Calls(OpApply) != 5 {
+		t.Errorf("call counters = sample %d apply %d, want 10, 5", fi.Calls(OpSample), fi.Calls(OpApply))
+	}
+}
+
+// Random-rate injection is reproducible: equal seeds produce identical
+// fault sequences, different seeds (virtually always) different ones.
+func TestFaultInjectorRandomDeterminism(t *testing.T) {
+	run := func(seed uint64) []bool {
+		script := FaultScript{Seed: seed, SampleErrorRate: 0.3}
+		p, _ := newFaultTestPlatform(t, script)
+		out := make([]bool, 100)
+		for i := range out {
+			_, err := p.Sample()
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: same seed diverged", i)
+		}
+	}
+	c := run(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 100-call fault sequences")
+	}
+}
+
+// A sample dropout must still advance the inner platform's interval: the
+// reading is lost, not the time, so the post-fault stream re-aligns with
+// an unfaulted replay.
+func TestFaultInjectorDropoutAdvancesTime(t *testing.T) {
+	mk := func(script FaultScript) Platform {
+		p, _ := newFaultTestPlatform(t, script)
+		return p
+	}
+	clean := mk(FaultScript{})
+	faulty := mk(FaultScript{Faults: []Fault{{Op: OpSample, Kind: FaultError, Call: 2}}})
+	for call := 1; call <= 5; call++ {
+		want, err := clean.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := faulty.Sample()
+		if call == 2 {
+			if err == nil {
+				t.Fatal("call 2: dropout did not fire")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("call %d: faulted run desynced from clean run (job %d: %v != %v)", call, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// The DSL round-trips into the scripted fault set.
+func TestParseFaultScript(t *testing.T) {
+	script, err := ParseFaultScript("sample:nan@50, apply:error@100x3 ,resync:error@2,measure:latency@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Op: OpSample, Kind: FaultNaN, Call: 50, Repeat: 1},
+		{Op: OpApply, Kind: FaultError, Call: 100, Repeat: 3},
+		{Op: OpResync, Kind: FaultError, Call: 2, Repeat: 1},
+		{Op: OpMeasureIsolated, Kind: FaultLatency, Call: 7, Repeat: 1},
+	}
+	if len(script.Faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(script.Faults), len(want))
+	}
+	for i, f := range script.Faults {
+		if f != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+	if s, err := ParseFaultScript("  "); err != nil || len(s.Faults) != 0 {
+		t.Errorf("blank spec: %v %v", s, err)
+	}
+	for _, bad := range []string{"sample@3", "sample:nan", "bogus:error@1", "sample:weird@1", "apply:error@0", "apply:error@1x0", "apply:nan@1"} {
+		if _, err := ParseFaultScript(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}

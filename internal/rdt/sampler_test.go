@@ -2,6 +2,8 @@ package rdt
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -173,5 +175,79 @@ func TestResctrlPlatformSampleValidatesWidth(t *testing.T) {
 	}
 	if _, err := p.MeasureIsolated(); err == nil {
 		t.Error("MeasureIsolated accepted 2 baselines on a 3-job platform")
+	}
+}
+
+// External drift: between ticks, another agent (a human operator, a
+// second controller, a node-cleanup script) rewrites a control group's
+// schemata and cpus_list out from under the platform. Resync must
+// restore every file from the in-memory configuration, and the next
+// Apply of a genuinely new decision must land normally afterwards.
+func TestResctrlPlatformResyncRestoresExternalDrift(t *testing.T) {
+	p := newTracePlatform(t)
+	w := p.Writer()
+	dir := filepath.Join(w.Root, "satori-job1")
+
+	wantSchemata, err := os.ReadFile(filepath.Join(dir, "schemata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCPUs, err := os.ReadFile(filepath.Join(dir, "cpus_list"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The drift: well-formed but wrong values, exactly what a competing
+	// writer would leave behind.
+	if err := os.WriteFile(filepath.Join(dir, "schemata"), []byte("L3:0=fffff\nMB:0=100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cpus_list"), []byte("0-63\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := w.ReadGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted.CATMask != 0xfffff || drifted.MBAPercent != 100 {
+		t.Fatalf("drift setup failed: read back %+v", drifted)
+	}
+
+	if err := p.Resync(); err != nil {
+		t.Fatalf("Resync after external drift: %v", err)
+	}
+	gotSchemata, err := os.ReadFile(filepath.Join(dir, "schemata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCPUs, err := os.ReadFile(filepath.Join(dir, "cpus_list"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotSchemata) != string(wantSchemata) {
+		t.Errorf("schemata after Resync = %q, want restored %q", gotSchemata, wantSchemata)
+	}
+	if string(gotCPUs) != string(wantCPUs) {
+		t.Errorf("cpus_list after Resync = %q, want restored %q", gotCPUs, wantCPUs)
+	}
+
+	// The loop keeps deciding after the repair: a fresh configuration
+	// (one unit moved between jobs on resource 0) must compile and land.
+	next := p.Current()
+	next.Alloc[0][0]++
+	next.Alloc[0][1]--
+	if err := p.Apply(next); err != nil {
+		t.Fatalf("Apply after Resync: %v", err)
+	}
+	plan, err := Compile(p.Space(), next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.ReadGroup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CATMask != plan.Jobs[0].CATMask || got.MBAPercent != plan.Jobs[0].MBAPercent {
+		t.Errorf("job 0 after post-Resync Apply = %+v, want %+v", got, plan.Jobs[0])
 	}
 }

@@ -42,6 +42,9 @@ type (
 	// Summary aggregates a session so far, including the count of
 	// policy decisions the platform rejected.
 	Summary = control.Summary
+	// Health is the loop's liveness summary: consecutive failures,
+	// circuit-breaker state, and the resilience counters.
+	Health = control.Health
 )
 
 // Resource kinds.
@@ -228,3 +231,8 @@ func (s *Session) Run(n int) (Status, error) { return s.loop.Run(n) }
 
 // Summary returns the running aggregate.
 func (s *Session) Summary() Summary { return s.loop.Summary() }
+
+// Health returns the loop's liveness summary — breaker state,
+// consecutive failures, and the resilience counters (see
+// control.ResilienceOptions for the policies behind them).
+func (s *Session) Health() Health { return s.loop.Health() }
