@@ -8,9 +8,14 @@
 //	fleet -nodes 8 -arrival-rate 0.5 -duration-mean 30 -seconds 120
 //	fleet -nodes 4 -placer fairness -policy parties -csv fleet.csv
 //	fleet -nodes 8 -seed 42 -workers 1   # byte-identical to -workers 8
+//	fleet -nodes 1000 -shards 16 -event-driven -seconds 300
+//	fleet -nodes 64 -sweep-shards 1,4,16,64   # placement quality vs k
 //
 // Any -workers value produces byte-identical output; parallelism only
-// changes wall-clock time.
+// changes wall-clock time. -shards splits placement into POP-style
+// independent subproblems, and -event-driven lets phase-stable nodes
+// defer detailed ticks; both trade a documented amount of fidelity for
+// fleet-scale throughput.
 package main
 
 import (
@@ -39,6 +44,11 @@ func main() {
 	suite := flag.String("suite", "parsec", "workload pool jobs draw from (parsec|cloudsuite|ecp)")
 	maxJobs := flag.Int("max-jobs", 5, "max co-located jobs per node")
 	csvPath := flag.String("csv", "", "write the per-tick fleet trace to this CSV file")
+	shards := flag.Int("shards", 1, "POP-style placement shards (clamped to the node count)")
+	eventDriven := flag.Bool("event-driven", false,
+		"let phase-stable nodes defer detailed ticks (coarse batched catch-up)")
+	sweepShards := flag.String("sweep-shards", "",
+		"comma-separated shard counts; runs the placement-quality sweep and prints a table instead of a single run")
 	flag.Parse()
 	if envErr != nil {
 		log.Fatal(envErr)
@@ -48,30 +58,53 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster, err := fleet.New(fleet.Options{
+	opt := fleet.Options{
 		Nodes:          *nodes,
 		Policy:         *policyName,
 		Placer:         *placerName,
 		Seed:           *seed,
 		Workers:        *workers,
 		MaxJobsPerNode: *maxJobs,
+		Shards:         *shards,
+		EventDriven:    *eventDriven,
 		Stream: fleet.StreamOptions{
 			ArrivalRate:  *arrivalRate,
 			DurationMean: *durationMean,
 			Profiles:     profiles,
 		},
-	})
+	}
+	ticks := int(*seconds / satori.TickSeconds)
+
+	if *sweepShards != "" {
+		var counts []int
+		for _, f := range strings.Split(*sweepShards, ",") {
+			var k int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &k); err != nil || k < 1 {
+				log.Fatalf("bad -sweep-shards entry %q", f)
+			}
+			counts = append(counts, k)
+		}
+		rows, err := fleet.SweepShards(opt, counts, ticks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fleet.WriteShardSweep(os.Stdout, rows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	cluster, err := fleet.New(opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	ticks := int(*seconds / satori.TickSeconds)
 	report := ticks / 10
 	if report < 1 {
 		report = 1
 	}
-	fmt.Printf("fleet: %d nodes, policy=%s placer=%s, %.2g jobs/s, mean service %.3gs\n",
-		*nodes, *policyName, *placerName, *arrivalRate, *durationMean)
+	fmt.Printf("fleet: %d nodes (%d shards%s), policy=%s placer=%s, %.2g jobs/s, mean service %.3gs\n",
+		*nodes, cluster.ShardCount(), map[bool]string{true: ", event-driven", false: ""}[*eventDriven],
+		*policyName, *placerName, *arrivalRate, *durationMean)
 	for i := 1; i <= ticks; i++ {
 		st, err := cluster.Step()
 		if err != nil {

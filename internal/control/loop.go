@@ -197,6 +197,7 @@ type Loop struct {
 	stable       int
 	sampledRun   int
 	sampledTicks int
+	idleTicks    int
 	badSamples   int
 
 	// Resilience state: consecFail is the current run of ticks that
@@ -213,6 +214,10 @@ type Loop struct {
 	lastGoodSample, lastGoodApply int
 
 	accT, accF, accObj stats.Welford
+
+	// lastT and lastF are the most recent good tick's normalized scores,
+	// held by SkipIdle as the metric value of coarsely skipped intervals.
+	lastT, lastF float64
 }
 
 // New builds a loop: the policy is constructed on the platform's live
@@ -390,6 +395,7 @@ func (l *Loop) Step() (Status, error) {
 	l.accT.Add(t)
 	l.accF.Add(f)
 	l.accObj.Add(0.5*t + 0.5*f)
+	l.lastT, l.lastF = t, f
 
 	obs := policy.Observation{
 		Tick: l.tick, Time: float64(l.tick) * TickSeconds,
@@ -484,6 +490,167 @@ func (l *Loop) resetStability() {
 	l.stable = 0
 	l.sampledRun = 0
 	l.prevIPS = l.prevIPS[:0]
+}
+
+// IdleHorizon returns how many upcoming intervals this loop could advance
+// without consulting the policy and without a detailed evaluation — the
+// event-driven fleet's skip budget for a node with nothing going on. It
+// is 0 unless the backend can extrapolate (rdt.FastSampler), the
+// phase-stability window is armed, no baseline refresh is due or pending
+// delivery to the policy, and the circuit breaker is closed. The promise
+// is bounded by the backend's own phase-boundary lookahead
+// (FastSampler.FastHorizon), by the remaining MaxRun extrapolation
+// budget, and by the distance to the next equalization boundary — so a
+// caller advancing exactly IdleHorizon ticks via AdvanceIdle never skips
+// past a baseline refresh or a needed detailed re-validation.
+func (l *Loop) IdleHorizon() int {
+	if l.fast == nil || l.breakerOpen || l.pendReset {
+		return 0
+	}
+	if l.stable < l.sampling.StableTicks {
+		return 0
+	}
+	// A periodic refresh is due right now: the next Step must run it.
+	if l.tick > 0 && l.tick%l.resetEvery == 0 {
+		return 0
+	}
+	h := l.fast.FastHorizon()
+	if m := l.sampling.MaxRun - l.sampledRun; m < h {
+		h = m
+	}
+	if m := l.resetEvery - l.tick%l.resetEvery; m < h {
+		h = m
+	}
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// AdvanceIdle advances n intervals in one batched, policy-free replay —
+// the event-driven fleet's catch-up path for a node whose skipped ticks
+// have come due. Each tick is observed through the extrapolation cache
+// (bit-identical to a detailed evaluation on the simulator backend,
+// including the noise draws), scored, and accumulated into the running
+// aggregates exactly as Step would; the installed configuration is held
+// throughout and the policy is never consulted — which is the point: an
+// idle node pays for observation arithmetic only, not for a decision.
+// Callers must stay within a promise returned by IdleHorizon; if the
+// backend still refuses a tick (conservative horizons may under-promise
+// after rounding), that tick falls back to a detailed platform sample,
+// preserving the observation stream. The returned status is the last
+// advanced tick's. n <= 0 is a no-op.
+func (l *Loop) AdvanceIdle(n int) (Status, error) {
+	var st Status
+	for i := 0; i < n; i++ {
+		sampled := false
+		var ips []float64
+		if l.fast != nil {
+			if v, ok := l.fast.SampleFast(); ok {
+				ips, sampled = v, true
+				l.sampledRun++
+				l.sampledTicks++
+			}
+		}
+		if !sampled {
+			var err error
+			ips, err = l.platform.Sample()
+			if err != nil {
+				if !rdt.IsTransient(err) {
+					return st, err
+				}
+				l.tick++
+				l.idleTicks++
+				l.sampleErrs++
+				l.sampledRun = 0
+				l.resetStability()
+				st = Status{
+					Tick: l.tick, Time: float64(l.tick) * TickSeconds,
+					Isolated:  l.isolated,
+					SampleErr: err,
+					Degraded:  true,
+					Config:    l.current,
+				}
+				l.noteFailedTick(&st)
+				continue
+			}
+			l.sampledRun = 0
+		}
+		l.tick++
+		l.idleTicks++
+		bad := false
+		for _, v := range ips {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			l.badSamples++
+			l.resetStability()
+			st = Status{
+				Tick: l.tick, Time: float64(l.tick) * TickSeconds,
+				IPS: ips, Isolated: l.isolated,
+				SampledTick: sampled,
+				BadSample:   true,
+				Config:      l.current,
+			}
+			l.noteFailedTick(&st)
+			continue
+		}
+		l.lastGoodSample = l.tick
+		l.updateStability(ips)
+		speedups := metrics.Speedups(ips, l.isolated)
+		tScore := metrics.NormalizedThroughput(l.tm, ips, l.isolated)
+		f := metrics.NormalizedFairness(l.fm, ips, l.isolated)
+		l.accT.Add(tScore)
+		l.accF.Add(f)
+		l.accObj.Add(0.5*tScore + 0.5*f)
+		l.lastT, l.lastF = tScore, f
+		st = Status{
+			Tick: l.tick, Time: float64(l.tick) * TickSeconds,
+			IPS: ips, Isolated: l.isolated, Speedups: speedups,
+			Throughput: tScore, Fairness: f,
+			SampledTick: sampled,
+			Config:      l.current,
+		}
+		l.noteGoodTick()
+	}
+	return st, nil
+}
+
+// SkipIdle advances the loop clock n ticks in one coarse batched jump —
+// the cheap half of the event-driven fleet contract. The platform
+// extrapolates all n intervals in a single O(jobs) operation (no
+// per-interval samples), and the loop holds the last good tick's
+// normalized scores as the metric value of every skipped interval, so run
+// aggregates keep tick-weighted semantics. The jump is deterministic but
+// NOT bit-identical to n lockstep Steps (the per-interval noise terms are
+// not realized); callers that need the exact trajectory use AdvanceIdle.
+// When the platform has no batch capability — or refuses the jump — the
+// call falls back to exact interval-by-interval replay. Callers must
+// respect IdleHorizon, exactly as for AdvanceIdle.
+func (l *Loop) SkipIdle(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if b, ok := l.fast.(rdt.BatchSampler); ok && b.SkipFast(n) {
+		l.tick += n
+		l.idleTicks += n
+		l.sampledTicks += n
+		l.sampledRun += n
+		l.lastGoodSample = l.tick
+		obj := 0.5*l.lastT + 0.5*l.lastF
+		for i := 0; i < n; i++ {
+			l.accT.Add(l.lastT)
+			l.accF.Add(l.lastF)
+			l.accObj.Add(obj)
+		}
+		l.noteGoodTick()
+		return nil
+	}
+	_, err := l.AdvanceIdle(n)
+	return err
 }
 
 // Run advances n intervals and returns the last status.
@@ -631,6 +798,10 @@ type Summary struct {
 	// SampledTicks counts intervals observed by extrapolation instead of
 	// detailed evaluation (sampled simulation).
 	SampledTicks int
+	// IdleTicks counts intervals advanced through AdvanceIdle or
+	// SkipIdle — batched, policy-free catch-up ticks from the
+	// event-driven fleet path.
+	IdleTicks int
 	// BadSamples counts observations rejected for non-finite or negative
 	// IPS (Status.BadSample ticks).
 	BadSamples int
@@ -660,6 +831,7 @@ func (l *Loop) Summary() Summary {
 		StdFairness:     l.accF.StdDev(),
 		RejectedApplies: l.rejected,
 		SampledTicks:    l.sampledTicks,
+		IdleTicks:       l.idleTicks,
 		BadSamples:      l.badSamples,
 		SampleErrors:    l.sampleErrs,
 		ResetErrs:       l.resetErrs,
@@ -675,6 +847,9 @@ func (s Summary) String() string {
 		s.Ticks, s.MeanThroughput, s.MeanFairness, s.MeanObjective)
 	if s.SampledTicks > 0 {
 		out += fmt.Sprintf(" sampled=%d", s.SampledTicks)
+	}
+	if s.IdleTicks > 0 {
+		out += fmt.Sprintf(" idle=%d", s.IdleTicks)
 	}
 	if s.BadSamples > 0 {
 		out += fmt.Sprintf(" bad-samples=%d", s.BadSamples)

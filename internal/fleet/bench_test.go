@@ -3,6 +3,8 @@ package fleet
 import (
 	"fmt"
 	"testing"
+
+	"satori/internal/sim"
 )
 
 // BenchmarkFleetTick measures one lockstep fleet tick across cluster
@@ -46,4 +48,95 @@ func BenchmarkFleetTick(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchProfile builds a single-phase synthetic workload whose phase
+// length (in ticks) controls how extrapolation-friendly the fleet is:
+// short phases cross a boundary almost every tick (no node ever earns an
+// idle promise), long phases make nodes phase-stable for thousands of
+// ticks (the event-driven best case).
+func benchProfile(name string, instructions float64) *sim.Profile {
+	return &sim.Profile{
+		Name: name, Suite: "bench",
+		Phases: []sim.Phase{{
+			Name: "steady", Instructions: instructions, IPSPeak: 2e10,
+			SerialFrac: 0.05, MPIMax: 0.012, MPIMin: 0.004,
+			WaysHalf: 2.5, MemStallCost: 180, PowerSensitivity: 0.6,
+		}},
+	}
+}
+
+// benchFleetScale builds a large fleet, bursts one job per two capacity
+// slots into it, waits until placement settles (and, for event-driven
+// runs, until idle promises arm), then measures steady-state Step cost.
+// The active/idle pair at equal size is the tentpole's acceptance
+// metric: per-tick cost must track activity, not fleet size.
+func benchFleetScale(b *testing.B, nodes int, eventDriven bool, instructions float64) {
+	b.Helper()
+	profile := benchProfile("bench", instructions)
+	opt := Options{
+		Nodes:          nodes,
+		Seed:           42,
+		Workers:        0,
+		Policy:         "parties", // cheap real baseline: tick cost is sim+control, not GP
+		MaxJobsPerNode: 2,
+		Shards:         64,
+		EventDriven:    eventDriven,
+		Stream: StreamOptions{
+			ArrivalRate:  float64(nodes) * 100, // one burst fills the fleet
+			MaxJobs:      nodes,
+			DurationMean: 1e7, // immortal: zero churn in steady state
+			DurationMin:  1e7,
+			DurationMax:  1e7,
+			Profiles:     []*sim.Profile{profile},
+		},
+	}
+	c, err := New(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A few percent of the burst can stay queued behind a full shard
+	// (hash-routing imbalance — the POP quality trade); the stranded set
+	// is a pure function of the seed, so active and idle runs at equal
+	// size measure the identical busy-node layout.
+	for i := 0; i < 80; i++ {
+		if _, err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s := c.Summary(); s.Placed < nodes*8/10 {
+		b.Fatalf("warmup placed only %d of %d burst jobs: %+v", s.Placed, nodes, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if eventDriven {
+		s := c.Summary()
+		if s.SkippedNodeTicks == 0 {
+			b.Fatal("event-driven benchmark never skipped a node tick — measuring nothing")
+		}
+		b.ReportMetric(float64(s.SkippedNodeTicks)/float64(s.Ticks), "skipped-nodes/tick")
+	}
+}
+
+// Short phases: ~1.2 ticks per phase, every node crosses boundaries
+// continuously, so every tick is a detailed tick even in event-driven
+// mode. This is the all-active upper bound.
+const benchActiveInstr = 2.5e9
+
+// Long phases: ~50k ticks per phase; nodes are phase-stable and spend
+// MaxRun-bounded runs on idle promises. This is the idle-heavy case.
+const benchIdleInstr = 1e14
+
+func BenchmarkFleetTick100Active(b *testing.B) { benchFleetScale(b, 100, true, benchActiveInstr) }
+func BenchmarkFleetTick100Idle(b *testing.B)  { benchFleetScale(b, 100, true, benchIdleInstr) }
+func BenchmarkFleetTick10kActive(b *testing.B) {
+	benchFleetScale(b, 10000, true, benchActiveInstr)
+}
+func BenchmarkFleetTick10kIdle(b *testing.B) {
+	benchFleetScale(b, 10000, true, benchIdleInstr)
 }

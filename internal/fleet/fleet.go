@@ -16,15 +16,21 @@
 // Determinism contract: every node derives all of its randomness from its
 // own seed (mixed from the fleet seed, node index and session
 // generation), the stream draws arrival/service/profile randomness from
-// its own RNG at arrival time, placement runs serially between ticks on
-// snapshots, and aggregation iterates nodes in index order. Node stepping
-// fans out on the harness's bounded worker pool, so any -workers value
-// produces byte-identical output; workers only change wall-clock time.
+// its own RNG at arrival time, placement runs between ticks on snapshots
+// — in POP-style shards owning disjoint node sets (see shard.go) — and
+// aggregation iterates nodes and shards in index order. Shard placement
+// and node stepping fan out on the harness's bounded worker pool, so any
+// -workers value and any shard-completion interleaving produce
+// byte-identical output; workers only change wall-clock time. With
+// Options.EventDriven, idle nodes defer ticks on promises from their
+// control loop and replay them lazily in batches, so per-tick cost
+// tracks fleet activity instead of fleet size.
 package fleet
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"satori/internal/control"
 	"satori/internal/harness"
@@ -63,6 +69,24 @@ type Options struct {
 	// Workers bounds the per-tick node-stepping pool, following the
 	// harness convention: 0 = one worker per CPU, 1 = serial.
 	Workers int
+	// Shards partitions placement into k independent POP-style
+	// subproblems (see shard.go); clamped to [1, Nodes], default 1 —
+	// a single shard over every node, the pre-sharding behavior.
+	Shards int
+	// EventDriven makes nodes with nothing going on — no churn, no phase
+	// change, no pending baseline refresh — skip their detailed tick on
+	// an idle promise from the control loop (control.Loop.IdleHorizon)
+	// and catch up lazily in one batched AdvanceIdle before their next
+	// detailed step or churn event. Per-tick fleet cost then tracks
+	// *activity*, not fleet size. Trace rows hold a skipped node's last
+	// reported metrics, so event-driven traces are an approximation of
+	// (not byte-identical to) lockstep traces; determinism across worker
+	// counts and shard parallelism is unchanged.
+	EventDriven bool
+	// WrapPlatform, when non-nil, wraps each node's freshly built
+	// platform before the control loop boots on it — the seam fault
+	// injection (rdt.FaultInjector) and instrumentation hook into.
+	WrapPlatform func(node int, p rdt.Platform) rdt.Platform
 }
 
 // node is one machine of the fleet: a control loop (nil while idle) plus
@@ -75,6 +99,46 @@ type node struct {
 	gen     int // session generations, for churn-independent seeding
 	last    control.Status
 	hasLast bool // last is valid for the current job set
+
+	// Event-driven stepping state: skip is the remaining idle promise
+	// (ticks this node may defer), owed counts deferred ticks not yet
+	// settled, skipped accumulates over the run for Summary.
+	skip    int
+	owed    int
+	skipped int
+
+	// agg caches this node's contribution to the event-driven fleet
+	// aggregates, so skipped nodes cost O(1) at aggregation time instead
+	// of O(jobs). Valid only while last is unchanged.
+	agg      nodeAgg
+	aggValid bool
+}
+
+// nodeAgg is a node's pre-reduced share of the fleet metrics: the sums
+// the Jain index and geometric mean decompose into. nonPos records a
+// non-positive speedup, which zeroes the geomean exactly as
+// stats.GeoMean does.
+type nodeAgg struct {
+	jobs   int
+	sumIPS float64
+	sumS   float64
+	sumS2  float64
+	sumLog float64
+	nonPos bool
+}
+
+func buildAgg(st control.Status) nodeAgg {
+	a := nodeAgg{jobs: len(st.Speedups), sumIPS: stats.Sum(st.IPS)}
+	for _, s := range st.Speedups {
+		a.sumS += s
+		a.sumS2 += s * s
+		if s <= 0 {
+			a.nonPos = true
+		} else {
+			a.sumLog += math.Log(s)
+		}
+	}
+	return a
 }
 
 // Cluster is a fleet of nodes advanced in lockstep ticks.
@@ -84,17 +148,24 @@ type Cluster struct {
 	maxJobs int
 	nodes   []*node
 	stream  *JobStream
-	placer  Placer
-	queue   []*Job // FIFO admission queue
+	shards  []*shard // placement subproblems; len 1 = unsharded
 
 	ticks  int
 	series *trace.Series
+	err    error // first fatal Step error; the cluster is halted after it
 
 	accSum, accGeo, accJain stats.Welford
 	busyTicks               int
 	arrived, placed, done   int
 	maxQueue                int
 }
+
+// ErrHalted wraps the error a Step after a fatal failure returns: the
+// first failure is terminal by contract. The failed tick itself was
+// accounted (tick counter advanced, trace row recorded with the healthy
+// nodes' results), so a caller that blindly retries cannot double-step
+// the fleet — it gets this error instead.
+var ErrHalted = errors.New("fleet: cluster halted by a previous fatal error")
 
 // fleetColumns is the per-tick CSV schema.
 var fleetColumns = []string{
@@ -125,9 +196,11 @@ func New(opt Options) (*Cluster, error) {
 	if _, err := harness.PolicyByName(opt.Policy); err != nil {
 		return nil, err
 	}
-	placer, err := PlacerByName(opt.Placer)
-	if err != nil {
-		return nil, err
+	if opt.Shards <= 0 {
+		opt.Shards = 1
+	}
+	if opt.Shards > opt.Nodes {
+		opt.Shards = opt.Nodes
 	}
 	machine := sim.DefaultMachine()
 	if opt.Machine != nil {
@@ -159,12 +232,16 @@ func New(opt Options) (*Cluster, error) {
 	if maxJobs > hardCap {
 		maxJobs = hardCap
 	}
+	shards, err := buildShards(opt.Seed, opt.Nodes, opt.Shards, opt.Placer)
+	if err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		opt:     opt,
 		machine: machine,
 		maxJobs: maxJobs,
 		stream:  stream,
-		placer:  placer,
+		shards:  shards,
 		series:  trace.NewSeries(fleetColumns...),
 	}
 	for i := 0; i < opt.Nodes; i++ {
@@ -207,10 +284,21 @@ type TickStats struct {
 	Jain float64
 }
 
-// Step advances the whole fleet one 100 ms tick: process departures, pop
-// and place arrivals, step every node (in parallel on the worker pool),
-// then aggregate fleet metrics in node order.
+// Step advances the whole fleet one 100 ms tick: process departures,
+// route arrivals to their shards, run each shard's placement loop (in
+// parallel on the worker pool), step every node (likewise), then
+// aggregate fleet metrics in node order.
+//
+// Errors are terminal by contract: the first failing Step halts the
+// cluster and every later Step reports ErrHalted. A failure during the
+// node-stepping phase still accounts its tick — the counter advances and
+// the trace row is recorded with the healthy nodes' results — so the
+// tick counter, Series() and node state can never desync, and a caller
+// that retries cannot double-step the fleet.
 func (c *Cluster) Step() (TickStats, error) {
+	if c.err != nil {
+		return TickStats{}, fmt.Errorf("%w: %v", ErrHalted, c.err)
+	}
 	now := float64(c.ticks) * sim.TickSeconds
 	st := TickStats{Tick: c.ticks + 1, Time: now + sim.TickSeconds}
 
@@ -224,68 +312,123 @@ func (c *Cluster) Step() (TickStats, error) {
 				continue
 			}
 			if err := n.evict(slot); err != nil {
-				return st, fmt.Errorf("fleet: node %d evict: %w", n.id, err)
+				c.err = fmt.Errorf("fleet: node %d evict: %w", n.id, err)
+				return st, c.err
 			}
 			st.Departures++
 			c.done++
 		}
 	}
 
-	// (2) Arrivals enter the FIFO queue.
+	// (2) Arrivals are routed to their shard's FIFO queue by a seeded
+	// hash of the job ID — a pure function of the stream, never of
+	// placement history.
 	arrivals := c.stream.ArrivalsUntil(now)
 	st.Arrivals = len(arrivals)
 	c.arrived += len(arrivals)
-	c.queue = append(c.queue, arrivals...)
-
-	// (3) Placement: strict FIFO — every job needs exactly one slot, so
-	// if the head cannot be placed, no queued job can.
-	for len(c.queue) > 0 {
-		idx := c.placer.Place(c.queue[0], c.views())
-		if idx < 0 {
-			break
-		}
-		if err := c.nodes[idx].admit(c.queue[0], now, c.opt); err != nil {
-			return st, fmt.Errorf("fleet: node %d admit: %w", idx, err)
-		}
-		c.queue = c.queue[1:]
-		c.placed++
+	for _, job := range arrivals {
+		s := c.shardOf(job)
+		s.queue = append(s.queue, job)
 	}
-	if len(c.queue) > c.maxQueue {
-		c.maxQueue = len(c.queue)
+
+	// (3) Placement, one independent subproblem per shard. Shards own
+	// disjoint node sets and queues, so they place concurrently; the
+	// recombination is the union, with bookkeeping folded in shard order.
+	placedBy := make([]int, len(c.shards))
+	if err := harness.ForEach(c.opt.Workers, len(c.shards), func(s int) error {
+		n, err := c.placeShard(c.shards[s], now)
+		placedBy[s] = n
+		return err
+	}); err != nil {
+		c.err = fmt.Errorf("fleet: admit: %w", err)
+		return st, c.err
+	}
+	for _, n := range placedBy {
+		c.placed += n
+	}
+	if q := c.queued(); q > c.maxQueue {
+		c.maxQueue = q
 	}
 
 	// (4) Lockstep node tick on the bounded worker pool. Each node only
 	// touches its own state; ForEach guarantees the lowest-index error.
-	if err := harness.ForEach(c.opt.Workers, len(c.nodes), func(i int) error {
-		return c.nodes[i].step()
-	}); err != nil {
-		return st, err
-	}
+	// The tick is accounted and its row recorded even when a node fails —
+	// the healthy nodes advanced, and pretending otherwise is the
+	// retry-double-step bug this path once had.
+	stepErr := harness.ForEach(c.opt.Workers, len(c.nodes), func(i int) error {
+		return c.nodes[i].step(c.opt.EventDriven)
+	})
 	c.ticks++
 
-	// (5) Fleet aggregation, strictly in node order.
-	var ips, speedups []float64
-	for _, n := range c.nodes {
-		st.Running += len(n.jobs)
-		if !n.hasLast {
-			continue
-		}
-		ips = append(ips, n.last.IPS...)
-		speedups = append(speedups, n.last.Speedups...)
-	}
-	st.Queued = len(c.queue)
-	st.SumIPS = stats.Sum(ips)
-	st.GeoMeanSpeedup = stats.GeoMean(speedups)
+	// (5) Fleet aggregation, strictly in node order. Event-driven runs
+	// reduce per-node cached partials — O(active nodes) instead of
+	// O(total jobs), which is what lets the tick cost track activity at
+	// 10k nodes — the Jain index and geomean decompose exactly into the
+	// cached sums (up to float association; lockstep keeps the
+	// concatenated-slice arithmetic unchanged). Both reductions run in
+	// fixed node order, so output stays independent of worker count.
+	st.Queued = c.queued()
 	st.Jain = 1.0
-	if len(speedups) > 0 {
-		st.Jain = metrics.Jain(speedups)
-		c.accSum.Add(st.SumIPS)
-		c.accGeo.Add(st.GeoMeanSpeedup)
-		c.accJain.Add(st.Jain)
-		c.busyTicks++
+	if c.opt.EventDriven {
+		var agg nodeAgg
+		for _, n := range c.nodes {
+			st.Running += len(n.jobs)
+			if !n.hasLast {
+				continue
+			}
+			if !n.aggValid {
+				n.agg = buildAgg(n.last)
+				n.aggValid = true
+			}
+			agg.jobs += n.agg.jobs
+			agg.sumIPS += n.agg.sumIPS
+			agg.sumS += n.agg.sumS
+			agg.sumS2 += n.agg.sumS2
+			agg.sumLog += n.agg.sumLog
+			agg.nonPos = agg.nonPos || n.agg.nonPos
+		}
+		st.SumIPS = agg.sumIPS
+		if agg.jobs > 0 {
+			if !agg.nonPos {
+				st.GeoMeanSpeedup = math.Exp(agg.sumLog / float64(agg.jobs))
+			}
+			// (Σs)²/(n·Σs²) is Jain's index; a zero sum means every
+			// speedup is zero, which the CoV form treats as perfectly
+			// fair (mean-zero guard).
+			if agg.sumS > 0 {
+				st.Jain = agg.sumS * agg.sumS / (float64(agg.jobs) * agg.sumS2)
+			}
+			c.accSum.Add(st.SumIPS)
+			c.accGeo.Add(st.GeoMeanSpeedup)
+			c.accJain.Add(st.Jain)
+			c.busyTicks++
+		}
+	} else {
+		var ips, speedups []float64
+		for _, n := range c.nodes {
+			st.Running += len(n.jobs)
+			if !n.hasLast {
+				continue
+			}
+			ips = append(ips, n.last.IPS...)
+			speedups = append(speedups, n.last.Speedups...)
+		}
+		st.SumIPS = stats.Sum(ips)
+		st.GeoMeanSpeedup = stats.GeoMean(speedups)
+		if len(speedups) > 0 {
+			st.Jain = metrics.Jain(speedups)
+			c.accSum.Add(st.SumIPS)
+			c.accGeo.Add(st.GeoMeanSpeedup)
+			c.accJain.Add(st.Jain)
+			c.busyTicks++
+		}
 	}
 	c.series.Add(float64(st.Tick), st.Time, float64(st.Running), float64(st.Queued),
 		float64(st.Arrivals), float64(st.Departures), st.SumIPS, st.GeoMeanSpeedup, st.Jain)
+	if stepErr != nil {
+		c.err = stepErr
+		return st, stepErr
+	}
 	return st, nil
 }
 
@@ -302,19 +445,6 @@ func (c *Cluster) Run(n int) (TickStats, error) {
 	return last, nil
 }
 
-// views snapshots every node for the placer.
-func (c *Cluster) views() []NodeView {
-	out := make([]NodeView, len(c.nodes))
-	for i, n := range c.nodes {
-		v := NodeView{ID: i, Jobs: len(n.jobs), Capacity: c.maxJobs, Cores: c.machine.Cores}
-		if n.hasLast {
-			v.Speedups = n.last.Speedups
-		}
-		out[i] = v
-	}
-	return out
-}
-
 // Series returns the per-tick fleet trace (CSV via trace.Series).
 func (c *Cluster) Series() *trace.Series { return c.series }
 
@@ -323,6 +453,9 @@ func (c *Cluster) Ticks() int { return c.ticks }
 
 // Nodes returns the cluster size.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// ShardCount returns the number of placement shards (after clamping).
+func (c *Cluster) ShardCount() int { return len(c.shards) }
 
 // Summary aggregates a fleet run.
 type Summary struct {
@@ -338,6 +471,9 @@ type Summary struct {
 	// MeanSumIPS, MeanGeoMean and MeanJain are busy-tick averages of the
 	// fleet metrics.
 	MeanSumIPS, MeanGeoMean, MeanJain float64
+	// SkippedNodeTicks counts node-ticks deferred on idle promises over
+	// the run (0 unless Options.EventDriven).
+	SkippedNodeTicks int
 }
 
 // Summary returns the running aggregate.
@@ -345,20 +481,26 @@ func (c *Cluster) Summary() Summary {
 	s := Summary{
 		Ticks: c.ticks, BusyTicks: c.busyTicks,
 		Arrived: c.arrived, Placed: c.placed, Departed: c.done,
-		Queued: len(c.queue), MaxQueue: c.maxQueue,
+		Queued: c.queued(), MaxQueue: c.maxQueue,
 		MeanSumIPS: c.accSum.Mean(), MeanGeoMean: c.accGeo.Mean(), MeanJain: c.accJain.Mean(),
 	}
 	for _, n := range c.nodes {
 		s.Running += len(n.jobs)
+		s.SkippedNodeTicks += n.skipped
 	}
 	return s
 }
 
-// String renders the summary.
+// String renders the summary. The skipped counter appears only when
+// nonzero, so lockstep runs render as before.
 func (s Summary) String() string {
-	return fmt.Sprintf("ticks=%d jobs arrived=%d placed=%d departed=%d running=%d queued=%d (peak %d) | sumips=%.3g geomean=%.3f jain=%.3f",
+	out := fmt.Sprintf("ticks=%d jobs arrived=%d placed=%d departed=%d running=%d queued=%d (peak %d) | sumips=%.3g geomean=%.3f jain=%.3f",
 		s.Ticks, s.Arrived, s.Placed, s.Departed, s.Running, s.Queued, s.MaxQueue,
 		s.MeanSumIPS, s.MeanGeoMean, s.MeanJain)
+	if s.SkippedNodeTicks > 0 {
+		out += fmt.Sprintf(" skipped=%d", s.SkippedNodeTicks)
+	}
+	return out
 }
 
 // admit places job on the node at time now: the first job of an idle node
@@ -382,19 +524,35 @@ func (n *node) admit(job *Job, now float64, opt Options) error {
 		if err != nil {
 			return err
 		}
+		// The policy factory builds on the bare simulator platform; the
+		// loop drives the (possibly wrapped) one — the same split the
+		// harness uses for fault-injection runs.
+		var loopPlatform rdt.Platform = platform
+		if opt.WrapPlatform != nil {
+			loopPlatform = opt.WrapPlatform(n.id, loopPlatform)
+		}
 		loop, err := control.New(control.Options{
-			Platform: platform,
+			Platform: loopPlatform,
 			Policy:   func(rdt.Platform) (policy.Policy, error) { return factory(platform, seed) },
 			// Sampled simulation is default-on for fleet runs: node ticks
 			// are bit-identical either way on the sim backend, and
-			// phase-stable nodes skip the detailed model evaluation.
-			Sampling: control.SamplingOptions{Enabled: true},
+			// phase-stable nodes skip the detailed model evaluation. The
+			// revalidation cadence is stretched to the equalization
+			// period — the boundary forces a detailed tick anyway, and
+			// the default MaxRun of 20 would cut every idle promise to a
+			// twentieth of the period.
+			Sampling: control.SamplingOptions{Enabled: true, MaxRun: 100},
 		})
 		if err != nil {
 			return err
 		}
 		n.loop = loop
 	} else {
+		// An idle promise never spans churn: replay any deferred ticks so
+		// the loop's clock is current before the membership change.
+		if err := n.flush(); err != nil {
+			return err
+		}
 		if err := n.loop.AddJob(job.Profile); err != nil {
 			return err
 		}
@@ -412,21 +570,57 @@ func (n *node) admit(job *Job, now float64, opt Options) error {
 func (n *node) evict(slot int) error {
 	if len(n.jobs) == 1 {
 		n.loop = nil
-	} else if err := n.loop.RemoveJob(slot); err != nil {
-		return err
+		n.skip, n.owed = 0, 0
+	} else {
+		// As in admit: deferred ticks are replayed before churn.
+		if err := n.flush(); err != nil {
+			return err
+		}
+		if err := n.loop.RemoveJob(slot); err != nil {
+			return err
+		}
 	}
 	n.jobs = append(n.jobs[:slot], n.jobs[slot+1:]...)
 	n.hasLast = false
 	return nil
 }
 
+// flush settles the node's deferred ticks in one coarse batched SkipIdle
+// and clears the idle promise — called before any detailed step or churn
+// event so the loop's clock is always current when it matters. The
+// node's reported metrics stay held at the pre-promise observation (the
+// same values its trace rows carried while skipped); the detailed step or
+// churn that forced the flush refreshes them immediately after.
+func (n *node) flush() error {
+	owed := n.owed
+	n.owed, n.skip = 0, 0
+	if owed == 0 || n.loop == nil {
+		return nil
+	}
+	return n.loop.SkipIdle(owed)
+}
+
 // step advances the node one 100 ms tick; idle nodes are a no-op. A
 // *control.StaleDecisionError means the node's policy and platform
 // desynced after churn — a fleet-layer invariant violation, flagged as
-// such rather than surfaced as a bare apply failure.
-func (n *node) step() error {
+// such rather than surfaced as a bare apply failure. In event-driven
+// mode a node holding an idle promise defers the tick in O(1) — the
+// deferred ticks are replayed lazily by flush — and each detailed step
+// asks the loop for a fresh promise (control.Loop.IdleHorizon).
+func (n *node) step(event bool) error {
 	if n.loop == nil {
 		return nil
+	}
+	if event {
+		if n.skip > 0 {
+			n.skip--
+			n.owed++
+			n.skipped++
+			return nil
+		}
+		if err := n.flush(); err != nil {
+			return err
+		}
 	}
 	st, err := n.loop.Step()
 	if err != nil {
@@ -444,5 +638,9 @@ func (n *node) step() error {
 	}
 	n.last = st
 	n.hasLast = true
+	n.aggValid = false
+	if event {
+		n.skip = n.loop.IdleHorizon()
+	}
 	return nil
 }

@@ -262,3 +262,41 @@ func TestRoundRobinSkipsFullNodes(t *testing.T) {
 		t.Fatalf("placement on full fleet returned %d, want -1", got)
 	}
 }
+
+// TestFairnessAwareDegenerateTieBreaksByLoad is the degenerate-scoring
+// bugfix regression: when every reported speedup is zero (fully stalled
+// fleet), the predicted Jain is identical for every candidate — the
+// newcomer's share dominates a sum of zeros — and the pre-fix argmax
+// silently collapsed to lowest-index packing. The placer must spread by
+// load instead.
+func TestFairnessAwareDegenerateTieBreaksByLoad(t *testing.T) {
+	views := []NodeView{
+		{ID: 0, Jobs: 3, Capacity: 5, Cores: 10, Speedups: []float64{0, 0, 0}},
+		{ID: 1, Jobs: 1, Capacity: 5, Cores: 10, Speedups: []float64{0}},
+	}
+	// The predictions really do tie (both 0.2 here), so only the
+	// tie-break can separate the candidates.
+	j0, j1 := predictedJain(views, 0), predictedJain(views, 1)
+	if d := j0 - j1; d < -1e-12 || d > 1e-12 {
+		t.Fatalf("degenerate predictions did not tie: %v vs %v", j0, j1)
+	}
+	if got := (FairnessAware{}).Place(&Job{}, views); got != 1 {
+		t.Fatalf("fairness placer chose node %d under degenerate scoring, want less-loaded node 1", got)
+	}
+	// An all-empty fleet ties every candidate at 1; the load tie-break
+	// (equal loads) keeps the lowest index.
+	if got := (FairnessAware{}).Place(&Job{}, []NodeView{
+		{ID: 0, Jobs: 0, Capacity: 5, Cores: 10},
+		{ID: 1, Jobs: 0, Capacity: 5, Cores: 10},
+	}); got != 0 {
+		t.Fatalf("empty-fleet tie broke to node %d, want 0", got)
+	}
+	// The non-degenerate path is untouched: strictly better Jain still
+	// wins regardless of load.
+	if got := (FairnessAware{}).Place(&Job{}, []NodeView{
+		{ID: 0, Jobs: 2, Capacity: 5, Cores: 10, Speedups: []float64{0.3, 0.3}},
+		{ID: 1, Jobs: 3, Capacity: 5, Cores: 10, Speedups: []float64{0.9, 0.9, 0.9}},
+	}); got != 1 {
+		t.Fatalf("fairness placer chose node %d, want Jain-maximizing node 1", got)
+	}
+}

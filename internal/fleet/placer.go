@@ -92,17 +92,26 @@ type FairnessAware struct{}
 // Name implements Placer.
 func (FairnessAware) Name() string { return "fairness" }
 
-// Place implements Placer.
+// Place implements Placer. Candidates within a 1e-12 band of the best
+// predicted Jain tie-break by load (jobs per core, then lowest index):
+// degenerate predictions — e.g. every reported speedup zero because the
+// fleet's jobs are fully stalled — score all candidates identically, and
+// without the tie-break the placer silently collapsed to lowest-index
+// packing, the exact opposite of fairness-aware spreading.
 func (FairnessAware) Place(_ *Job, nodes []NodeView) int {
 	best := -1
 	bestJain := 0.0
+	bestLoad := 0.0
 	for _, cand := range nodes {
 		if !cand.free() {
 			continue
 		}
 		jain := predictedJain(nodes, cand.ID)
-		if best < 0 || jain > bestJain+1e-12 {
-			best, bestJain = cand.ID, jain
+		load := float64(cand.Jobs) / float64(cand.Cores)
+		better := best < 0 || jain > bestJain+1e-12 ||
+			(jain > bestJain-1e-12 && load < bestLoad)
+		if better {
+			best, bestJain, bestLoad = cand.ID, jain, load
 		}
 	}
 	return best
@@ -138,6 +147,10 @@ func predictedJain(nodes []NodeView, cand int) float64 {
 		}
 	}
 	if n == 0 || sum == 0 {
+		// Degenerate: nothing to score (free candidates always contribute
+		// the newcomer's positive share, so sum == 0 needs an empty node
+		// list). Every candidate scoring here ties at 1 and Place's load
+		// tie-break decides.
 		return 1
 	}
 	// Jain = (Σs)² / (n·Σs²), the 1/(1+CoV²) identity.

@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"satori/internal/rdt"
+)
+
+// TestShardPartitionProperties pins the partition contract: every node
+// lands in exactly one shard, shards are balanced within one node, hands
+// are sorted ascending, the partition is a pure function of (seed, n, k),
+// and k=1 is the identity layout.
+func TestShardPartitionProperties(t *testing.T) {
+	const n = 23
+	for _, k := range []int{1, 4, 7, 23} {
+		a, err := buildShards(99, n, k, "round-robin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := buildShards(99, n, k, "round-robin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]int)
+		for si, s := range a {
+			if len(s.nodes) < n/k || len(s.nodes) > n/k+1 {
+				t.Errorf("k=%d shard %d holds %d nodes, want %d or %d", k, si, len(s.nodes), n/k, n/k+1)
+			}
+			for i, id := range s.nodes {
+				seen[id]++
+				if i > 0 && s.nodes[i-1] >= id {
+					t.Errorf("k=%d shard %d not sorted ascending: %v", k, si, s.nodes)
+				}
+			}
+			if bs := b[si]; len(bs.nodes) != len(s.nodes) {
+				t.Errorf("k=%d shard %d: same seed gave different partitions", k, si)
+			} else {
+				for i := range s.nodes {
+					if s.nodes[i] != bs.nodes[i] {
+						t.Errorf("k=%d shard %d: same seed gave different partitions", k, si)
+					}
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Errorf("k=%d: %d distinct nodes across shards, want %d", k, len(seen), n)
+		}
+		for id, count := range seen {
+			if count != 1 {
+				t.Errorf("k=%d: node %d appears in %d shards", k, id, count)
+			}
+		}
+		if k == 1 {
+			for i, id := range a[0].nodes {
+				if id != i {
+					t.Fatalf("k=1 shard is not the identity layout: %v", a[0].nodes)
+				}
+			}
+		}
+	}
+}
+
+// TestShardDeterminismAcrossWorkers is the tentpole's acceptance bar:
+// sharded placement at any worker count is byte-identical to serial, for
+// every registered placer, under churn.
+func TestShardDeterminismAcrossWorkers(t *testing.T) {
+	for _, placer := range PlacerNames() {
+		for _, shards := range []int{1, 4} {
+			opt := testOptions(1)
+			opt.Nodes = 8
+			opt.Placer = placer
+			opt.Shards = shards
+			serial := runCSV(t, opt, 200)
+			for _, workers := range []int{2, 8} {
+				o := opt
+				o.Workers = workers
+				if got := runCSV(t, o, 200); got != serial {
+					t.Fatalf("placer=%s shards=%d workers=%d output differs from serial", placer, shards, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestShardCountChangesPlacementOnly: different k produce different (but
+// valid) placements; conservation holds at every k, and k is clamped to
+// the node count.
+func TestShardCountChangesPlacement(t *testing.T) {
+	baseline := ""
+	for _, shards := range []int{1, 2, 4, 99} {
+		opt := testOptions(0)
+		opt.Nodes = 4
+		opt.Shards = shards
+		c, err := New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards == 99 && c.ShardCount() != 4 {
+			t.Fatalf("Shards=99 on 4 nodes not clamped: %d", c.ShardCount())
+		}
+		if _, err := c.Run(300); err != nil {
+			t.Fatal(err)
+		}
+		s := c.Summary()
+		if s.Arrived != s.Departed+s.Running+s.Queued {
+			t.Fatalf("shards=%d: job conservation violated: %+v", shards, s)
+		}
+		if shards == 1 {
+			baseline = s.String()
+		}
+	}
+	if baseline == "" {
+		t.Fatal("no baseline run")
+	}
+}
+
+// TestEventDrivenDeterminism: event-driven stepping keeps the worker- and
+// run-level determinism contract, and a calm fleet actually skips ticks.
+func TestEventDrivenDeterminism(t *testing.T) {
+	opt := testOptions(1)
+	opt.EventDriven = true
+	serial := runCSV(t, opt, 200)
+	for _, workers := range []int{2, 4} {
+		o := opt
+		o.Workers = workers
+		if got := runCSV(t, o, 200); got != serial {
+			t.Fatalf("event-driven workers=%d output differs from serial", workers)
+		}
+	}
+	o := opt
+	o.Workers = 0
+	if got := runCSV(t, o, 200); got != serial {
+		t.Fatal("event-driven same-seed replay diverged")
+	}
+}
+
+// TestEventDrivenSkipsAndConserves: with a phase-stable policy the fleet
+// defers node ticks on idle promises, while churn bookkeeping stays
+// exact (promises are flushed before any membership change).
+func TestEventDrivenSkipsAndConserves(t *testing.T) {
+	opt := testOptions(1)
+	opt.Policy = "static" // holds the partition: nodes go phase-stable
+	opt.EventDriven = true
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.SkippedNodeTicks == 0 {
+		t.Fatal("event-driven calm fleet never skipped a node tick")
+	}
+	if s.Arrived == 0 || s.Departed == 0 {
+		t.Fatalf("expected churn, got %+v", s)
+	}
+	if s.Arrived != s.Departed+s.Running+s.Queued {
+		t.Fatalf("job conservation violated under event-driven stepping: %+v", s)
+	}
+	if s.Placed != s.Departed+s.Running {
+		t.Fatalf("placement conservation violated: %+v", s)
+	}
+	lockstep := testOptions(1)
+	lockstep.Policy = "static"
+	lc, err := New(lockstep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lc.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if ls := lc.Summary(); ls.SkippedNodeTicks != 0 {
+		t.Fatalf("lockstep fleet reported skipped ticks: %+v", ls)
+	}
+	t.Logf("event-driven: %d node-ticks skipped over %d ticks", s.SkippedNodeTicks, s.Ticks)
+}
+
+// TestStepErrorTerminalAndAccounted is the partial-tick bugfix
+// regression: when a node's step fails, the healthy nodes have already
+// advanced, so the tick must still be accounted (counter + trace row)
+// and the cluster must refuse to step again — the pre-fix code returned
+// without incrementing c.ticks or recording the row, so a retrying
+// caller double-stepped every healthy node.
+func TestStepErrorTerminalAndAccounted(t *testing.T) {
+	script, err := rdt.ParseFaultScript("sample:fatal@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions(1)
+	opt.Nodes = 2
+	opt.Stream.ArrivalRate = 2
+	opt.Stream.DurationMean = 1e6 // immortal: the faulted loop boots once
+	opt.Stream.DurationMin = 1e6
+	opt.Stream.DurationMax = 1e6
+	opt.WrapPlatform = func(nodeID int, p rdt.Platform) rdt.Platform {
+		if nodeID != 0 {
+			return p
+		}
+		fp, err := rdt.NewFaultInjector(p, script)
+		if err != nil {
+			t.Errorf("NewFaultInjector: %v", err)
+			return p
+		}
+		return fp
+	}
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	var stepErr error
+	for i := 0; i < 500; i++ {
+		if _, err := c.Step(); err != nil {
+			stepErr = err
+			break
+		}
+		steps++
+	}
+	if stepErr == nil {
+		t.Fatal("injected fatal sample fault never surfaced")
+	}
+	if errors.Is(stepErr, ErrHalted) {
+		t.Fatalf("first failure already reported ErrHalted: %v", stepErr)
+	}
+	// The failed tick is accounted: counter advanced and row recorded.
+	if got := c.Ticks(); got != steps+1 {
+		t.Errorf("failed tick not accounted: Ticks()=%d after %d clean steps + 1 failed", got, steps)
+	}
+	if rows := c.Series().Len(); rows != c.Ticks() {
+		t.Errorf("trace desynced from tick counter: %d rows, %d ticks", rows, c.Ticks())
+	}
+	// Terminal by contract: a retry cannot double-step healthy nodes.
+	if _, err := c.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("second Step after failure = %v, want ErrHalted", err)
+	}
+	if got := c.Ticks(); got != steps+1 {
+		t.Errorf("halted Step advanced the tick counter to %d", got)
+	}
+	if rows := c.Series().Len(); rows != steps+1 {
+		t.Errorf("halted Step recorded a row: %d", rows)
+	}
+	if !strings.Contains(stepErr.Error(), "fatal") {
+		t.Errorf("error lost the injected cause: %v", stepErr)
+	}
+}

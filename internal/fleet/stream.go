@@ -49,6 +49,10 @@ type StreamOptions struct {
 	// Profiles is the workload pool jobs draw from uniformly (default:
 	// the PARSEC suite of workloads.go).
 	Profiles []*sim.Profile
+	// MaxJobs caps the total number of arrivals the stream generates
+	// (0 = unbounded) — benchmarks use it to fill a fleet with one burst
+	// and then measure steady state with the stream dry.
+	MaxJobs int
 }
 
 func (o *StreamOptions) fill() {
@@ -123,6 +127,9 @@ func (s *JobStream) duration() float64 {
 func (s *JobStream) ArrivalsUntil(now float64) []*Job {
 	var out []*Job
 	for s.nextAt <= now {
+		if s.opt.MaxJobs > 0 && s.nextID > s.opt.MaxJobs {
+			return out
+		}
 		out = append(out, &Job{
 			ID:       s.nextID,
 			Profile:  s.opt.Profiles[s.rng.Intn(len(s.opt.Profiles))],

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+)
+
+// ShardSweepRow is one cell of the placement-quality-vs-shard-count
+// experiment: the same fleet, stream and placer run at a different k.
+type ShardSweepRow struct {
+	// Shards is the effective shard count (after clamping to the fleet
+	// size).
+	Shards int
+	// MeanJain and MeanSumIPS are the run's busy-tick fleet averages —
+	// the quality axes POP trades against placement cost.
+	MeanJain, MeanSumIPS float64
+	// MeanGeoMean is the busy-tick average geomean speedup.
+	MeanGeoMean float64
+	// Placed counts admitted jobs; MaxQueue is the admission-queue
+	// high-water mark (sharding can strand queued jobs behind a full
+	// shard while another has capacity, which shows up here first).
+	Placed, MaxQueue int
+}
+
+// SweepShards runs the same fleet configuration once per shard count and
+// reports placement quality at each k — the POP recombination
+// experiment. Every run starts from a fresh cluster with the same seed,
+// so rows differ only by the partitioning of the placement problem.
+func SweepShards(opt Options, shardCounts []int, ticks int) ([]ShardSweepRow, error) {
+	rows := make([]ShardSweepRow, 0, len(shardCounts))
+	for _, k := range shardCounts {
+		o := opt
+		o.Shards = k
+		c, err := New(o)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: sweep shards=%d: %w", k, err)
+		}
+		if _, err := c.Run(ticks); err != nil {
+			return nil, fmt.Errorf("fleet: sweep shards=%d: %w", k, err)
+		}
+		s := c.Summary()
+		rows = append(rows, ShardSweepRow{
+			Shards:      c.ShardCount(),
+			MeanJain:    s.MeanJain,
+			MeanSumIPS:  s.MeanSumIPS,
+			MeanGeoMean: s.MeanGeoMean,
+			Placed:      s.Placed,
+			MaxQueue:    s.MaxQueue,
+		})
+	}
+	return rows, nil
+}
+
+// WriteShardSweep renders sweep rows as a Markdown table (the
+// EXPERIMENTS.md format).
+func WriteShardSweep(w io.Writer, rows []ShardSweepRow) error {
+	if _, err := fmt.Fprintf(w, "| shards | mean Jain | mean SumIPS | mean geomean | placed | peak queue |\n|---|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %d | %.4f | %.4g | %.4f | %d | %d |\n",
+			r.Shards, r.MeanJain, r.MeanSumIPS, r.MeanGeoMean, r.Placed, r.MaxQueue); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -103,6 +103,12 @@ const (
 	// FaultLatency delays the call through the script's Sleep hook and
 	// then lets it succeed — a slow resctrl write or perf read.
 	FaultLatency
+	// FaultFatal fails the call with a NON-transient error — a dead
+	// counter, an exhausted trace, a misconfigured resctrl root. The
+	// control loop's retry/degradation machinery must NOT absorb it:
+	// fatal faults abort the run, which is exactly what resilience and
+	// fleet error-path tests need to provoke.
+	FaultFatal
 )
 
 // String returns the kind's script-DSL name.
@@ -116,6 +122,8 @@ func (k FaultKind) String() string {
 		return "negative"
 	case FaultLatency:
 		return "latency"
+	case FaultFatal:
+		return "fatal"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -168,22 +176,26 @@ type FaultCounts struct {
 	ResyncErrors int
 	// Latencies counts injected delays (which then succeed).
 	Latencies int
+	// FatalErrors counts injected NON-transient failures (FaultFatal) —
+	// the faults the resilience layers are forbidden to absorb.
+	FatalErrors int
 }
 
 // Total is the number of injected faults of any kind.
 func (c FaultCounts) Total() int {
 	return c.ApplyErrors + c.SampleErrors + c.SampleNaNs + c.SampleNegatives +
-		c.MeasureErrors + c.ResyncErrors + c.Latencies
+		c.MeasureErrors + c.ResyncErrors + c.Latencies + c.FatalErrors
 }
 
 // FaultInjector is a chaos wrapper around any Platform: it forwards every
 // operation to the inner backend, deterministically injecting the faults
 // its script calls for — transient Apply rejections, Sample dropouts and
 // NaN/negative IPS corruption, MeasureIsolated and Resync failures, and
-// latency spikes. Every injected error is marked Transient, so the
-// control loop's retry/degradation policies engage exactly as they would
-// for real platform flakiness, and every injection is counted so tests
-// can reconcile loop counters against ground truth.
+// latency spikes. Every injected error is marked Transient — except the
+// explicit FaultFatal kind — so the control loop's retry/degradation
+// policies engage exactly as they would for real platform flakiness, and
+// every injection is counted so tests can reconcile loop counters
+// against ground truth.
 //
 // Construct via NewFaultInjector, which preserves the inner platform's
 // optional capabilities (Churner, FastSampler) in the returned value.
@@ -314,6 +326,9 @@ func (f *FaultInjector) Apply(c resource.Config) error {
 	case kind == FaultLatency:
 		f.counts.Latencies++
 		f.script.Sleep(f.script.Latency)
+	case kind == FaultFatal:
+		f.counts.FatalErrors++
+		return fmt.Errorf("injected fatal apply failure (call %d)", f.calls[OpApply])
 	default:
 		f.counts.ApplyErrors++
 		return Transient(fmt.Errorf("injected apply rejection (call %d)", f.calls[OpApply]))
@@ -340,6 +355,9 @@ func (f *FaultInjector) Sample() ([]float64, error) {
 	case FaultError:
 		f.counts.SampleErrors++
 		return nil, Transient(fmt.Errorf("injected sample dropout (call %d)", f.calls[OpSample]))
+	case FaultFatal:
+		f.counts.FatalErrors++
+		return nil, fmt.Errorf("injected fatal sample failure (call %d)", f.calls[OpSample])
 	case FaultNaN:
 		f.counts.SampleNaNs++
 		out := append([]float64(nil), ips...)
@@ -361,6 +379,9 @@ func (f *FaultInjector) MeasureIsolated() ([]float64, error) {
 	case kind == FaultLatency:
 		f.counts.Latencies++
 		f.script.Sleep(f.script.Latency)
+	case kind == FaultFatal:
+		f.counts.FatalErrors++
+		return nil, fmt.Errorf("injected fatal isolated-measurement failure (call %d)", f.calls[OpMeasureIsolated])
 	default:
 		f.counts.MeasureErrors++
 		return nil, Transient(fmt.Errorf("injected isolated-measurement failure (call %d)", f.calls[OpMeasureIsolated]))
@@ -375,6 +396,9 @@ func (f *FaultInjector) Resync() error {
 	case kind == FaultLatency:
 		f.counts.Latencies++
 		f.script.Sleep(f.script.Latency)
+	case kind == FaultFatal:
+		f.counts.FatalErrors++
+		return fmt.Errorf("injected fatal resync failure (call %d)", f.calls[OpResync])
 	default:
 		f.counts.ResyncErrors++
 		return Transient(fmt.Errorf("injected resync failure (call %d)", f.calls[OpResync]))
@@ -413,6 +437,18 @@ type fastFaultPlatform struct {
 // SampleFast implements FastSampler.
 func (p *fastFaultPlatform) SampleFast() ([]float64, bool) { return p.fast.SampleFast() }
 
+// FastHorizon implements FastSampler.
+func (p *fastFaultPlatform) FastHorizon() int { return p.fast.FastHorizon() }
+
+// SkipFast forwards BatchSampler when the inner platform has it; refusing
+// otherwise keeps callers on the per-interval path.
+func (p *fastFaultPlatform) SkipFast(n int) bool {
+	if b, ok := p.fast.(BatchSampler); ok {
+		return b.SkipFast(n)
+	}
+	return false
+}
+
 // churnFastFaultPlatform carries both optional capabilities.
 type churnFastFaultPlatform struct {
 	churnFaultPlatform
@@ -422,13 +458,24 @@ type churnFastFaultPlatform struct {
 // SampleFast implements FastSampler.
 func (p *churnFastFaultPlatform) SampleFast() ([]float64, bool) { return p.fast.SampleFast() }
 
+// FastHorizon implements FastSampler.
+func (p *churnFastFaultPlatform) FastHorizon() int { return p.fast.FastHorizon() }
+
+// SkipFast forwards BatchSampler when the inner platform has it.
+func (p *churnFastFaultPlatform) SkipFast(n int) bool {
+	if b, ok := p.fast.(BatchSampler); ok {
+		return b.SkipFast(n)
+	}
+	return false
+}
+
 // ParseFaultScript parses the compact fault-script DSL used by command
 // lines (cmd/satorid -fault, the CI soak smoke):
 //
 //	spec     := entry ("," entry)*
 //	entry    := op ":" kind "@" call ["x" repeat]
 //	op       := "apply" | "sample" | "measure" | "resync"
-//	kind     := "error" | "nan" | "negative" | "latency"
+//	kind     := "error" | "nan" | "negative" | "latency" | "fatal"
 //
 // e.g. "sample:nan@50,apply:error@100x3,resync:error@200" injects a NaN
 // reading on the 50th sample, rejects the 100th–102nd applies, and fails
@@ -439,7 +486,7 @@ func ParseFaultScript(spec string) (FaultScript, error) {
 		return script, nil
 	}
 	ops := map[string]FaultOp{"apply": OpApply, "sample": OpSample, "measure": OpMeasureIsolated, "resync": OpResync}
-	kinds := map[string]FaultKind{"error": FaultError, "nan": FaultNaN, "negative": FaultNegative, "latency": FaultLatency}
+	kinds := map[string]FaultKind{"error": FaultError, "nan": FaultNaN, "negative": FaultNegative, "latency": FaultLatency, "fatal": FaultFatal}
 	for _, entry := range strings.Split(spec, ",") {
 		entry = strings.TrimSpace(entry)
 		opKind, at, ok := strings.Cut(entry, "@")

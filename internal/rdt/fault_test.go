@@ -302,3 +302,55 @@ func TestParseFaultScript(t *testing.T) {
 		}
 	}
 }
+
+// FaultFatal injects NON-transient errors on every op, so the control
+// loop's retry/degradation/breaker machinery must not absorb them — they
+// model a dead backend, not a glitch.
+func TestFaultInjectorFatalKind(t *testing.T) {
+	script := FaultScript{
+		Faults: []Fault{
+			{Op: OpSample, Kind: FaultFatal, Call: 2},
+			{Op: OpApply, Kind: FaultFatal, Call: 1},
+			{Op: OpMeasureIsolated, Kind: FaultFatal, Call: 1},
+			{Op: OpResync, Kind: FaultFatal, Call: 1},
+		},
+	}
+	p, fi := newFaultTestPlatform(t, script)
+	if _, err := p.Sample(); err != nil {
+		t.Fatalf("sample call 1: %v", err)
+	}
+	if _, err := p.Sample(); err == nil || IsTransient(err) {
+		t.Errorf("sample call 2: err = %v, want non-transient failure", err)
+	}
+	if err := p.Apply(p.Space().EqualSplit()); err == nil || IsTransient(err) {
+		t.Errorf("apply call 1: err = %v, want non-transient failure", err)
+	}
+	if _, err := p.MeasureIsolated(); err == nil || IsTransient(err) {
+		t.Errorf("measure call 1: err = %v, want non-transient failure", err)
+	}
+	if err := p.Resync(); err == nil || IsTransient(err) {
+		t.Errorf("resync call 1: err = %v, want non-transient failure", err)
+	}
+	if got := fi.Counts().FatalErrors; got != 4 {
+		t.Errorf("FatalErrors = %d, want 4", got)
+	}
+	// The DSL knows the kind on every op.
+	s, err := ParseFaultScript("sample:fatal@3, apply:fatal@1, measure:fatal@2, resync:fatal@4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Op: OpSample, Kind: FaultFatal, Call: 3, Repeat: 1},
+		{Op: OpApply, Kind: FaultFatal, Call: 1, Repeat: 1},
+		{Op: OpMeasureIsolated, Kind: FaultFatal, Call: 2, Repeat: 1},
+		{Op: OpResync, Kind: FaultFatal, Call: 4, Repeat: 2},
+	}
+	if len(s.Faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(s.Faults), len(want))
+	}
+	for i, f := range s.Faults {
+		if f != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+}

@@ -221,6 +221,24 @@ type Churner interface {
 // where sampling IS the hardware measurement) simply do not implement it.
 type FastSampler interface {
 	SampleFast() ([]float64, bool)
+	// FastHorizon returns a conservative count of consecutive future
+	// SampleFast calls guaranteed to succeed from the current state — the
+	// lookahead event-driven callers use to defer whole runs of ticks. 0
+	// means the next interval needs a detailed Sample. Overrunning the
+	// horizon is safe: SampleFast refuses rather than diverging.
+	FastHorizon() int
+}
+
+// BatchSampler is the optional batched extension of FastSampler: SkipFast
+// advances n intervals in one coarse O(jobs) jump instead of n
+// extrapolated per-interval samples. The jump is deterministic (a pure
+// function of the pre-skip state) but trades per-interval noise fidelity
+// for speed, so callers that need the lockstep-identical trajectory must
+// replay interval-by-interval via SampleFast instead. SkipFast returns
+// false — with no side effects — when n exceeds the backend's FastHorizon.
+type BatchSampler interface {
+	FastSampler
+	SkipFast(n int) bool
 }
 
 // SimPlatform adapts a *sim.Simulator to the Platform interface and keeps
@@ -295,6 +313,14 @@ func (p *SimPlatform) SampleFast() ([]float64, bool) {
 	}
 	return sm.IPS, true
 }
+
+// FastHorizon implements FastSampler via the simulator's phase-boundary
+// lookahead (see sim.SampledHorizon).
+func (p *SimPlatform) FastHorizon() int { return p.sim.SampledHorizon() }
+
+// SkipFast implements BatchSampler via the simulator's coarse batched
+// advance.
+func (p *SimPlatform) SkipFast(n int) bool { return p.sim.SkipSampled(n) }
 
 // MeasureIsolated implements Platform.
 func (p *SimPlatform) MeasureIsolated() ([]float64, error) {

@@ -732,3 +732,61 @@ func TestApplyRejectsStaleShapedConfig(t *testing.T) {
 		t.Fatalf("fresh config after churn rejected: %v", err)
 	}
 }
+
+// SampledHorizon promises a run of extrapolated ticks; every tick inside
+// the promise must succeed, and invalidation events must zero it.
+func TestSampledHorizonBoundsExtrapolation(t *testing.T) {
+	s := newTestSim(t, 2, Options{Seed: 11})
+	if h := s.SampledHorizon(); h != 0 {
+		t.Fatalf("horizon = %d before any detailed step, want 0", h)
+	}
+	// Run detailed ticks until the extrapolation cache is valid with a
+	// positive lookahead.
+	h := 0
+	for i := 0; i < 300 && h == 0; i++ {
+		s.Step()
+		h = s.SampledHorizon()
+	}
+	if h == 0 {
+		t.Fatal("no positive horizon within 300 detailed ticks")
+	}
+	// The promise is hard: all h sampled ticks succeed, no refusal.
+	for i := 0; i < h; i++ {
+		if _, ok := s.StepSampled(); !ok {
+			t.Fatalf("StepSampled refused at tick %d of a %d-tick promise", i+1, h)
+		}
+	}
+	// The horizon is consumed as it is walked: after the promised run at
+	// most one tick of rounding slack may remain.
+	if left := s.SampledHorizon(); left > 1 {
+		t.Errorf("horizon = %d after consuming the full promise, want <= 1", left)
+	}
+	// Whatever the next tick is, the detailed path must absorb it and
+	// re-establish a fresh promise that is again fully honored.
+	s.Step()
+	for i, h2 := 0, s.SampledHorizon(); i < h2; i++ {
+		if _, ok := s.StepSampled(); !ok {
+			t.Fatalf("second promise: refused at tick %d of %d", i+1, h2)
+		}
+	}
+	// A reconfiguration invalidates the cache, so the horizon drops to 0.
+	s.Step()
+	moved, ok := s.Space().Move(s.Current(), 0, 0, 1)
+	if !ok {
+		t.Fatal("move failed")
+	}
+	if err := s.Apply(moved); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SampledHorizon(); got != 0 {
+		t.Errorf("horizon = %d after Apply, want 0", got)
+	}
+	// Membership churn likewise.
+	s.Step()
+	if err := s.AddJob(testProfile("late")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SampledHorizon(); got != 0 {
+		t.Errorf("horizon = %d after AddJob, want 0", got)
+	}
+}

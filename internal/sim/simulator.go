@@ -426,6 +426,40 @@ func (s *Simulator) Step() Sample {
 	return sample
 }
 
+// SampledHorizon returns a conservative count of consecutive StepSampled
+// calls guaranteed to succeed from the current state — the lookahead an
+// event-driven caller uses to defer a run of ticks in one decision. 0
+// means the next tick needs a detailed Step (no valid extrapolation
+// cache, or a phase boundary within one tick). The bound is conservative
+// against floating-point drift: workDone accumulates by repeated adds in
+// StepSampled, so the analytic count is shortened by one tick; a caller
+// that overruns it is refused by StepSampled as usual, never corrupted.
+func (s *Simulator) SampledHorizon() int {
+	if !s.ipsValid || len(s.modelIPS) != len(s.jobs) {
+		return 0
+	}
+	dt := TickSeconds
+	h := math.MaxInt
+	for j, jb := range s.jobs {
+		ips := s.modelIPS[j]
+		if ips <= 0 {
+			return 0
+		}
+		left := jb.phase().Instructions - jb.workDone
+		// The m-th sampled tick succeeds iff m < left/(ips·dt) (each
+		// prior tick consumed ips·dt instructions); floor minus one
+		// absorbs the add-vs-multiply rounding difference.
+		k := int(left/(ips*dt)) - 1
+		if k < h {
+			h = k
+		}
+	}
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
 // StepSampled advances one tick by extrapolation (Pac-Sim style sampled
 // simulation): instead of re-evaluating the analytical model it reuses
 // each job's noise-free IPS cached by the last detailed Step, drawing the
@@ -436,6 +470,30 @@ func (s *Simulator) Step() Sample {
 // the detailed Step. When ok is true the returned sample, the RNG stream,
 // and all job state are bit-identical to what Step would have produced,
 // which is what lets sampled runs share committed goldens.
+// SkipSampled advances n ticks in one coarse jump: every job retires
+// n·dt·modelIPS instructions in a single multiply, with no per-tick noise
+// draws and no Sample construction. It refuses (returning false, state
+// untouched) unless n is within SampledHorizon, so the jump never crosses
+// a phase boundary. Unlike StepSampled, the resulting state is NOT
+// bit-identical to n detailed ticks — noise-free progress drifts from the
+// lockstep trajectory by the accumulated noise term — but it is a pure
+// function of the pre-skip state, so replays and parallel interleavings
+// agree exactly. The RNG stream is not consumed.
+func (s *Simulator) SkipSampled(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if n > s.SampledHorizon() {
+		return false
+	}
+	dt := TickSeconds
+	for j, jb := range s.jobs {
+		jb.workDone += float64(n) * s.modelIPS[j] * dt
+	}
+	s.ticks += n
+	return true
+}
+
 func (s *Simulator) StepSampled() (Sample, bool) {
 	if !s.ipsValid || len(s.modelIPS) != len(s.jobs) {
 		return Sample{}, false
