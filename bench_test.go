@@ -378,6 +378,42 @@ func BenchmarkSessionStep(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionStepLC is BenchmarkSessionStep with latency-critical
+// jobs in the mix and goal switching armed: the extra steady-state cost
+// is the SLO tracker's per-tick pass (latency quantiles, attainment,
+// detector update) plus the per-job quantile slices in the status. The
+// delta against SessionStep is the whole subsystem's scoring overhead —
+// the batch-only path must stay at its prior allocation budget.
+func BenchmarkSessionStepLC(b *testing.B) {
+	batch, err := satori.Suite(satori.SuitePARSEC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lc, err := satori.Suite(satori.SuiteLC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := satori.NewSession(satori.SessionConfig{
+		Workloads:     append(lc[:2], batch[:3]...),
+		Seed:          9,
+		Policy:        satori.NewStaticPolicy(),
+		SLOGoalSwitch: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Run(150); err != nil { // warm past tick 101's refresh
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSessionTick measures one public-API session step end to end.
 func BenchmarkSessionTick(b *testing.B) {
 	jobs, err := satori.Suite(satori.SuitePARSEC)

@@ -53,11 +53,13 @@ func main() {
 	maxTicks := flag.Int("max-ticks", 0, "stop after this many ticks (0 = run until signaled)")
 	faultSpec := flag.String("fault", "", "deterministic fault script, e.g. 'sample:nan@50,apply:error@100x3'")
 	sampled := flag.Bool("sampled", false, "extrapolate phase-stable intervals (sampled simulation)")
+	sloGoalSwitch := flag.Bool("slo-goal-switch", false, "switch the fairness goal to SLO recovery while a violation persists")
+	sloUnhealthy := flag.Int("slo-unhealthy-after", 0, "report 503 on /healthz after a sustained SLO violation of this many ticks (0 = off)")
 	flag.Parse()
 	log.SetFlags(0)
 
 	srv, err := buildServer(*addr, *workloadList, *suite, *mixIdx, *policyName,
-		*seed, *tick, *maxTicks, *faultSpec, *sampled)
+		*seed, *tick, *maxTicks, *faultSpec, *sampled, *sloGoalSwitch, *sloUnhealthy)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +112,8 @@ func main() {
 // simulator → platform (optionally fault-wrapped) → control loop →
 // server.
 func buildServer(addr, workloadList, suite string, mixIdx int, policyName string,
-	seed uint64, tick time.Duration, maxTicks int, faultSpec string, sampled bool) (*server.Server, error) {
+	seed uint64, tick time.Duration, maxTicks int, faultSpec string, sampled bool,
+	sloGoalSwitch bool, sloUnhealthy int) (*server.Server, error) {
 	var profiles []*sim.Profile
 	switch {
 	case workloadList != "":
@@ -169,6 +172,7 @@ func buildServer(addr, workloadList, suite string, mixIdx int, policyName string
 			return policyFor(p, factory, seed)
 		},
 		Sampling: control.SamplingOptions{Enabled: sampled},
+		SLO:      control.SLOOptions{GoalSwitch: sloGoalSwitch},
 		Resilience: control.ResilienceOptions{
 			Sleep: time.Sleep, // real deployment: backoff waits on the wall clock
 		},
@@ -178,11 +182,12 @@ func buildServer(addr, workloadList, suite string, mixIdx int, policyName string
 	}
 
 	return server.New(server.Options{
-		Loop:      loop,
-		TickEvery: tick,
-		MaxTicks:  maxTicks,
-		Injector:  injector,
-		Logf:      log.Printf,
+		Loop:              loop,
+		TickEvery:         tick,
+		MaxTicks:          maxTicks,
+		Injector:          injector,
+		SLOUnhealthyAfter: sloUnhealthy,
+		Logf:              log.Printf,
 	})
 }
 

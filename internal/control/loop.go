@@ -20,6 +20,7 @@ import (
 	"satori/internal/rdt"
 	"satori/internal/resource"
 	"satori/internal/sim"
+	"satori/internal/slo"
 	"satori/internal/stats"
 )
 
@@ -50,6 +51,10 @@ type Options struct {
 	// circuit breaker (see ResilienceOptions); zero-valued fields take
 	// defaults, and none of them change behavior on a fault-free run.
 	Resilience ResilienceOptions
+	// SLO tunes latency-critical tracking and violation-driven goal
+	// switching (see SLOOptions); it has no effect unless the platform
+	// exposes jobs with SLO specs (rdt.SLOProvider).
+	SLO SLOOptions
 }
 
 // SamplingOptions tunes phase-stability detection for sampled simulation:
@@ -141,6 +146,21 @@ type Status struct {
 	// tripped on this interval and installed the equal-split safe
 	// configuration (see ResilienceOptions).
 	SafeFallback bool
+	// P50, P95 and P99 are the per-job request-latency quantiles in
+	// seconds derived from this interval's observation (zero for batch
+	// slots, +Inf for a saturated LC job). All SLO fields are nil/zero
+	// when the co-location has no latency-critical jobs.
+	P50, P95, P99 []float64
+	// SLOAttainment is the mean fraction of LC requests served within
+	// their p99 targets this interval.
+	SLOAttainment float64
+	// SLOViolating is the hysteretic violation state after this
+	// interval's observation.
+	SLOViolating bool
+	// GoalSwitched reports the fairness channel is currently scoring
+	// SLO attainment instead of the configured fairness metric
+	// (SLOOptions.GoalSwitch).
+	GoalSwitched bool
 }
 
 // StaleDecisionError is Step's typed failure when the policy emits a
@@ -203,14 +223,14 @@ type Loop struct {
 	// Resilience state: consecFail is the current run of ticks that
 	// failed to land a decision; the breaker/safe-config fields back
 	// Health() and the equal-split fallback (see resilience.go).
-	resil         ResilienceOptions
-	consecFail    int
-	breakerOpen   bool
-	safeInstalled bool
-	breakerTrips  int
-	retries       int
-	sampleErrs    int
-	resetErrs     int
+	resil                         ResilienceOptions
+	consecFail                    int
+	breakerOpen                   bool
+	safeInstalled                 bool
+	breakerTrips                  int
+	retries                       int
+	sampleErrs                    int
+	resetErrs                     int
 	lastGoodSample, lastGoodApply int
 
 	accT, accF, accObj stats.Welford
@@ -218,6 +238,11 @@ type Loop struct {
 	// lastT and lastF are the most recent good tick's normalized scores,
 	// held by SkipIdle as the metric value of coarsely skipped intervals.
 	lastT, lastF float64
+
+	// SLO tracking: slo is non-nil only when the platform exposes
+	// latency-critical jobs (rdt.SLOProvider), and is rebuilt on churn.
+	sloOpt SLOOptions
+	slo    *sloTracker
 }
 
 // New builds a loop: the policy is constructed on the platform's live
@@ -250,7 +275,9 @@ func New(opt Options) (*Loop, error) {
 		pendReset:  true,
 		sampling:   opt.Sampling.fill(),
 		resil:      opt.Resilience.fill(),
+		sloOpt:     opt.SLO,
 	}
+	l.slo = newSLOTracker(opt.Platform, l.sloOpt)
 	iso, err := l.measureIsolatedRetry()
 	if err != nil {
 		return nil, err
@@ -352,8 +379,8 @@ func (l *Loop) Step() (Status, error) {
 			l.resetStability()
 			st := Status{
 				Tick: l.tick, Time: float64(l.tick) * TickSeconds,
-				Isolated: l.isolated,
-				ResetErr: resetErr,
+				Isolated:  l.isolated,
+				ResetErr:  resetErr,
 				SampleErr: err,
 				Degraded:  true,
 				Config:    l.current,
@@ -389,9 +416,12 @@ func (l *Loop) Step() (Status, error) {
 	}
 	l.lastGoodSample = l.tick
 	l.updateStability(ips)
+	if l.slo != nil {
+		l.slo.observe(ips)
+	}
 	speedups := metrics.Speedups(ips, l.isolated)
-	t := metrics.NormalizedThroughput(l.tm, ips, l.isolated)
-	f := metrics.NormalizedFairness(l.fm, ips, l.isolated)
+	t := l.scoreThroughput(ips)
+	f := l.scoreFairness(ips)
 	l.accT.Add(t)
 	l.accF.Add(f)
 	l.accObj.Add(0.5*t + 0.5*f)
@@ -403,6 +433,10 @@ func (l *Loop) Step() (Status, error) {
 		Throughput: t, Fairness: f,
 		BaselineReset: l.pendReset,
 	}
+	if l.slo != nil {
+		obs.SLOViolating = l.slo.det.Violating()
+		obs.SLOAttainment = l.slo.attainment
+	}
 	wasReset := l.pendReset
 	l.pendReset = false
 	next := l.pol.Decide(obs, l.current)
@@ -413,6 +447,9 @@ func (l *Loop) Step() (Status, error) {
 		BaselineReset: wasReset,
 		ResetErr:      resetErr,
 		SampledTick:   sampled,
+	}
+	if l.slo != nil {
+		l.slo.fill(&st)
 	}
 	err := l.platform.Apply(next)
 	// A transient rejection (a busy resctrl write, an injected chaos
@@ -451,6 +488,34 @@ func (l *Loop) Step() (Status, error) {
 	st.Config = l.current
 	l.noteGoodTick()
 	return st, nil
+}
+
+// scoreThroughput maps this tick's observation to the normalized
+// throughput score. With latency-critical jobs present, the P99Latency
+// metric scores tail-latency headroom from the SLO tracker; every other
+// configuration is the pre-SLO computation unchanged.
+func (l *Loop) scoreThroughput(ips []float64) float64 {
+	if l.slo != nil && l.tm == metrics.P99Latency {
+		return slo.HeadroomScore(l.slo.specs, ips)
+	}
+	return metrics.NormalizedThroughput(l.tm, ips, l.isolated)
+}
+
+// scoreFairness maps this tick's observation to the normalized fairness
+// score. The SLO tracker substitutes mean attainment when the
+// SLOAttainment metric is configured. While a violation persists under
+// GoalSwitch it instead scores the WORST service's attainment
+// (slo.RecoveryScore) — one healthy service must not mask a starving
+// one, or the optimizer loses its gradient before every SLO is met.
+// The tracker must have observed this tick already.
+func (l *Loop) scoreFairness(ips []float64) float64 {
+	if l.slo != nil && l.slo.switched {
+		return l.slo.recovery
+	}
+	if l.slo != nil && l.fm == metrics.SLOAttainment {
+		return l.slo.attainment
+	}
+	return metrics.NormalizedFairness(l.fm, ips, l.isolated)
 }
 
 // updateStability advances the phase-stability window: stable counts
@@ -508,6 +573,14 @@ func (l *Loop) IdleHorizon() int {
 		return 0
 	}
 	if l.stable < l.sampling.StableTicks {
+		return 0
+	}
+	// An SLO detector mid-streak is advancing toward an onset or a
+	// clear: skipping now could jump the loop straight over the
+	// transition (and the goal switch it triggers), so no promise is
+	// made until the streak resolves — the violation analogue of a
+	// phase edge.
+	if l.slo != nil && l.slo.det.MidStreak() {
 		return 0
 	}
 	// A periodic refresh is due right now: the next Step must run it.
@@ -600,9 +673,12 @@ func (l *Loop) AdvanceIdle(n int) (Status, error) {
 		}
 		l.lastGoodSample = l.tick
 		l.updateStability(ips)
+		if l.slo != nil {
+			l.slo.observe(ips)
+		}
 		speedups := metrics.Speedups(ips, l.isolated)
-		tScore := metrics.NormalizedThroughput(l.tm, ips, l.isolated)
-		f := metrics.NormalizedFairness(l.fm, ips, l.isolated)
+		tScore := l.scoreThroughput(ips)
+		f := l.scoreFairness(ips)
 		l.accT.Add(tScore)
 		l.accF.Add(f)
 		l.accObj.Add(0.5*tScore + 0.5*f)
@@ -613,6 +689,9 @@ func (l *Loop) AdvanceIdle(n int) (Status, error) {
 			Throughput: tScore, Fairness: f,
 			SampledTick: sampled,
 			Config:      l.current,
+		}
+		if l.slo != nil {
+			l.slo.fill(&st)
 		}
 		l.noteGoodTick()
 	}
@@ -640,6 +719,9 @@ func (l *Loop) SkipIdle(n int) error {
 		l.sampledTicks += n
 		l.sampledRun += n
 		l.lastGoodSample = l.tick
+		if l.slo != nil {
+			l.slo.hold(n)
+		}
 		obj := 0.5*l.lastT + 0.5*l.lastF
 		for i := 0; i < n; i++ {
 			l.accT.Add(l.lastT)
@@ -710,6 +792,9 @@ func (l *Loop) rebuildAfterChurn() error {
 	l.current = l.platform.Current()
 	l.pendReset = true
 	l.resetStability()
+	// Membership changed: rebuild the SLO tracker against the new job
+	// set (the detector restarts attaining, like a freshly built loop).
+	l.slo = newSLOTracker(l.platform, l.sloOpt)
 	return nil
 }
 
@@ -743,6 +828,9 @@ func (l *Loop) ReplaceJob(j int, p *sim.Profile) error {
 	if err := c.ReplaceJob(j, p); err != nil {
 		return err
 	}
+	// The slot's workload (and so possibly its SLO spec) changed:
+	// rebuild the tracker like any other membership change.
+	l.slo = newSLOTracker(l.platform, l.sloOpt)
 	return l.RefreshBaselines()
 }
 
@@ -818,11 +906,19 @@ type Summary struct {
 	// BreakerTrips counts circuit-breaker openings — equal-split safe
 	// fallbacks after a run of consecutive failed ticks.
 	BreakerTrips int
+	// SLOViolatedTicks counts intervals spent in the hysteretic SLO
+	// violating state (0 for batch-only co-locations).
+	SLOViolatedTicks int
+	// SLOOnsets counts violation onsets the detector confirmed.
+	SLOOnsets int
+	// GoalSwitches counts fairness-channel flips (switching to SLO
+	// attainment on onset and back on clear each count once).
+	GoalSwitches int
 }
 
 // Summary returns the running aggregate.
 func (l *Loop) Summary() Summary {
-	return Summary{
+	s := Summary{
 		Ticks:           l.tick,
 		MeanThroughput:  l.accT.Mean(),
 		MeanFairness:    l.accF.Mean(),
@@ -838,6 +934,12 @@ func (l *Loop) Summary() Summary {
 		Retries:         l.retries,
 		BreakerTrips:    l.breakerTrips,
 	}
+	if l.slo != nil {
+		s.SLOViolatedTicks = l.slo.violTicks
+		s.SLOOnsets = l.slo.det.Onsets()
+		s.GoalSwitches = l.slo.switches
+	}
+	return s
 }
 
 // String renders the summary. Fault counters appear only when nonzero,
@@ -865,6 +967,12 @@ func (s Summary) String() string {
 	}
 	if s.BreakerTrips > 0 {
 		out += fmt.Sprintf(" breaker-trips=%d", s.BreakerTrips)
+	}
+	if s.SLOViolatedTicks > 0 || s.SLOOnsets > 0 {
+		out += fmt.Sprintf(" slo-violated=%d slo-onsets=%d", s.SLOViolatedTicks, s.SLOOnsets)
+	}
+	if s.GoalSwitches > 0 {
+		out += fmt.Sprintf(" goal-switches=%d", s.GoalSwitches)
 	}
 	return out
 }

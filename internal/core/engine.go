@@ -251,6 +251,8 @@ func (e *Engine) Name() string {
 		}
 	case WeightsFavorStronger:
 		return "satori-favor-stronger"
+	case WeightsSLOAware:
+		return "satori-slo"
 	default:
 		return "satori"
 	}
@@ -282,6 +284,11 @@ func (e *Engine) randomWalk(c resource.Config, steps int) resource.Config {
 func (e *Engine) Decide(obs policy.Observation, current resource.Config) resource.Config {
 	e.decideTicks++
 	// (1) Weights for this tick's objective function (Sec. III-C).
+	// SLO-aware scheduling also needs the loop's violation state: fed
+	// here, before Step fixes this tick's weights.
+	if e.sched.Mode() == WeightsSLOAware {
+		e.sched.SetSLOViolating(obs.SLOViolating)
+	}
 	w := e.sched.Step(obs.Throughput, obs.Fairness)
 	e.lastWeights = w
 	e.lastObj = w.T*obs.Throughput + w.F*obs.Fairness

@@ -33,6 +33,15 @@ const (
 	// that improved MORE in the previous period, instead of giving the
 	// opportunity to the other goal.
 	WeightsFavorStronger
+	// WeightsSLOAware is WeightsDynamic with a violation override:
+	// while the control loop reports a persistent SLO violation
+	// (Observation.SLOViolating, fed in via SetSLOViolating), the final
+	// weights pin to (floor, ceil) so the whole prioritization budget
+	// backs the goal channel scoring SLO recovery. The period clocks
+	// keep running on the pinned weights, so equalization repays the
+	// throughput debt after the violation clears — short-term sacrifice,
+	// long-term gains, applied to tail latency.
+	WeightsSLOAware
 )
 
 // String names the mode.
@@ -44,6 +53,8 @@ func (m WeightMode) String() string {
 		return "static"
 	case WeightsFavorStronger:
 		return "favor-stronger"
+	case WeightsSLOAware:
+		return "slo-aware"
 	default:
 		return "unknown"
 	}
@@ -100,6 +111,10 @@ type Scheduler struct {
 
 	last        Weights
 	boundaryHit bool
+
+	// sloViolating is the loop-fed violation state consulted under
+	// WeightsSLOAware; other modes ignore it.
+	sloViolating bool
 }
 
 // SchedulerOptions configures NewScheduler.
@@ -247,6 +262,13 @@ func (s *Scheduler) Step(throughput, fairness float64) Weights {
 	// Blend (Eqs. 5/6): equalization dominates toward the period end.
 	frac := float64(s.te) / float64(s.teTicks)
 	wT := stats.Clamp(frac*wTE+(1-frac)*s.wTP, s.floor, s.ceil)
+	if s.mode == WeightsSLOAware && s.sloViolating {
+		// Violation override: pin throughput to the floor and hand the
+		// ceiling to the recovery-scoring goal channel. The pinned
+		// weight still feeds advanceClock's Σ W_T, so equalization owes
+		// throughput the difference once the violation clears.
+		wT = s.floor
+	}
 	w := Weights{
 		T: wT, F: 1 - wT,
 		TE: wTE, FE: wFE,
@@ -257,6 +279,10 @@ func (s *Scheduler) Step(throughput, fairness float64) Weights {
 	s.last = w
 	return w
 }
+
+// SetSLOViolating feeds the control loop's hysteretic SLO-violation
+// state; consulted only by WeightsSLOAware.
+func (s *Scheduler) SetSLOViolating(v bool) { s.sloViolating = v }
 
 // advanceClock accumulates the period counters after a tick's weights are
 // fixed.

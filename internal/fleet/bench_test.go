@@ -133,7 +133,7 @@ const benchActiveInstr = 2.5e9
 const benchIdleInstr = 1e14
 
 func BenchmarkFleetTick100Active(b *testing.B) { benchFleetScale(b, 100, true, benchActiveInstr) }
-func BenchmarkFleetTick100Idle(b *testing.B)  { benchFleetScale(b, 100, true, benchIdleInstr) }
+func BenchmarkFleetTick100Idle(b *testing.B)   { benchFleetScale(b, 100, true, benchIdleInstr) }
 func BenchmarkFleetTick10kActive(b *testing.B) {
 	benchFleetScale(b, 10000, true, benchActiveInstr)
 }

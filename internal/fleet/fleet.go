@@ -156,6 +156,8 @@ type Cluster struct {
 
 	accSum, accGeo, accJain stats.Welford
 	busyTicks               int
+	accAttain               stats.Welford // fleet attainment over LC ticks
+	violNodeTicks           int           // Σ violating-node counts over the run
 	arrived, placed, done   int
 	maxQueue                int
 }
@@ -170,7 +172,7 @@ var ErrHalted = errors.New("fleet: cluster halted by a previous fatal error")
 // fleetColumns is the per-tick CSV schema.
 var fleetColumns = []string{
 	"tick", "time", "jobs", "queued", "arrivals", "departures",
-	"sumips", "geomean", "jain",
+	"sumips", "geomean", "jain", "lcnodes", "sloviol", "attainment",
 }
 
 // New builds a cluster. Policy and placer names are resolved eagerly so
@@ -282,6 +284,13 @@ type TickStats struct {
 	// Jain is Jain's fairness index over all running jobs' speedups
 	// (1 when the fleet is empty).
 	Jain float64
+	// LCNodes counts nodes currently tracking latency-critical jobs;
+	// SLOViolatingNodes counts those whose hysteretic detector reports a
+	// persistent violation. Both stay 0 for batch-only fleets.
+	LCNodes, SLOViolatingNodes int
+	// SLOAttainment is the mean per-node SLO attainment over LC nodes
+	// (1 when the fleet tracks none).
+	SLOAttainment float64
 }
 
 // Step advances the whole fleet one 100 ms tick: process departures,
@@ -423,8 +432,30 @@ func (c *Cluster) Step() (TickStats, error) {
 			c.busyTicks++
 		}
 	}
+	// SLO reduction: O(1) per node off the cached last status, in fixed
+	// node order like the metric reductions above. A skipped node's held
+	// status carries its held attainment, matching the loop's own
+	// SkipIdle accounting.
+	st.SLOAttainment = 1
+	attainSum := 0.0
+	for _, n := range c.nodes {
+		if !n.hasLast || len(n.last.P99) == 0 {
+			continue
+		}
+		st.LCNodes++
+		attainSum += n.last.SLOAttainment
+		if n.last.SLOViolating {
+			st.SLOViolatingNodes++
+		}
+	}
+	if st.LCNodes > 0 {
+		st.SLOAttainment = attainSum / float64(st.LCNodes)
+		c.accAttain.Add(st.SLOAttainment)
+		c.violNodeTicks += st.SLOViolatingNodes
+	}
 	c.series.Add(float64(st.Tick), st.Time, float64(st.Running), float64(st.Queued),
-		float64(st.Arrivals), float64(st.Departures), st.SumIPS, st.GeoMeanSpeedup, st.Jain)
+		float64(st.Arrivals), float64(st.Departures), st.SumIPS, st.GeoMeanSpeedup, st.Jain,
+		float64(st.LCNodes), float64(st.SLOViolatingNodes), st.SLOAttainment)
 	if stepErr != nil {
 		c.err = stepErr
 		return st, stepErr
@@ -474,6 +505,13 @@ type Summary struct {
 	// SkippedNodeTicks counts node-ticks deferred on idle promises over
 	// the run (0 unless Options.EventDriven).
 	SkippedNodeTicks int
+	// LCTicks counts ticks with at least one node tracking
+	// latency-critical jobs; MeanSLOAttainment averages the fleet
+	// attainment over them and SLOViolatingNodeTicks sums the
+	// violating-node counts. All zero for batch-only fleets.
+	LCTicks               int
+	MeanSLOAttainment     float64
+	SLOViolatingNodeTicks int
 }
 
 // Summary returns the running aggregate.
@@ -483,6 +521,8 @@ func (c *Cluster) Summary() Summary {
 		Arrived: c.arrived, Placed: c.placed, Departed: c.done,
 		Queued: c.queued(), MaxQueue: c.maxQueue,
 		MeanSumIPS: c.accSum.Mean(), MeanGeoMean: c.accGeo.Mean(), MeanJain: c.accJain.Mean(),
+		LCTicks: c.accAttain.N(), MeanSLOAttainment: c.accAttain.Mean(),
+		SLOViolatingNodeTicks: c.violNodeTicks,
 	}
 	for _, n := range c.nodes {
 		s.Running += len(n.jobs)
@@ -491,14 +531,19 @@ func (c *Cluster) Summary() Summary {
 	return s
 }
 
-// String renders the summary. The skipped counter appears only when
-// nonzero, so lockstep runs render as before.
+// String renders the summary. The skipped and SLO counters appear only
+// when those subsystems were active, so lockstep batch-only runs render
+// as before.
 func (s Summary) String() string {
 	out := fmt.Sprintf("ticks=%d jobs arrived=%d placed=%d departed=%d running=%d queued=%d (peak %d) | sumips=%.3g geomean=%.3f jain=%.3f",
 		s.Ticks, s.Arrived, s.Placed, s.Departed, s.Running, s.Queued, s.MaxQueue,
 		s.MeanSumIPS, s.MeanGeoMean, s.MeanJain)
 	if s.SkippedNodeTicks > 0 {
 		out += fmt.Sprintf(" skipped=%d", s.SkippedNodeTicks)
+	}
+	if s.LCTicks > 0 {
+		out += fmt.Sprintf(" slo-attainment=%.3f slo-violating-node-ticks=%d",
+			s.MeanSLOAttainment, s.SLOViolatingNodeTicks)
 	}
 	return out
 }

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"satori/internal/workloads"
+)
+
+// lcTestOptions is testOptions with a mixed batch+LC workload pool, so
+// churn places latency-critical services next to batch jobs and nodes
+// build SLO trackers.
+func lcTestOptions(workers int) Options {
+	opt := testOptions(workers)
+	opt.Stream.Profiles = append(workloads.PARSEC()[:4], workloads.LC()...)
+	return opt
+}
+
+// TestLCDeterminismAcrossWorkers extends the fleet's core invariant to
+// mixed batch+LC pools: the latency model and violation detector are
+// pure functions of the observed IPS stream, so any worker count stays
+// byte-identical — including the three SLO columns.
+func TestLCDeterminismAcrossWorkers(t *testing.T) {
+	serial := runCSV(t, lcTestOptions(1), 200)
+	for _, workers := range []int{2, 4, 8} {
+		if got := runCSV(t, lcTestOptions(workers), 200); got != serial {
+			t.Fatalf("workers=%d output differs from serial with LC jobs", workers)
+		}
+	}
+	if !strings.Contains(serial, "attainment") {
+		t.Fatalf("CSV missing SLO columns: %q", serial[:120])
+	}
+	// The pool must actually have produced LC placements, or the test
+	// pins nothing.
+	c, err := New(lcTestOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.LCTicks == 0 {
+		t.Fatal("no tick tracked an LC node — enlarge the LC share of the pool")
+	}
+	if !strings.Contains(s.String(), "slo-attainment=") {
+		t.Fatalf("summary hides SLO state: %s", s)
+	}
+}
+
+// TestLCDeterminismAcrossShards: sharded placement with LC jobs in the
+// pool keeps the worker-count invariant at every shard count.
+func TestLCDeterminismAcrossShards(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		opt := lcTestOptions(1)
+		opt.Nodes = 8
+		opt.Shards = shards
+		serial := runCSV(t, opt, 200)
+		for _, workers := range []int{2, 8} {
+			o := opt
+			o.Workers = workers
+			if got := runCSV(t, o, 200); got != serial {
+				t.Fatalf("shards=%d workers=%d output differs from serial with LC jobs", shards, workers)
+			}
+		}
+	}
+}
+
+// TestLCDeterminismEventDriven: event-driven stepping with LC jobs in
+// the pool — idle promises are refused across violation onsets, and the
+// replay/worker determinism contract holds unchanged.
+func TestLCDeterminismEventDriven(t *testing.T) {
+	opt := lcTestOptions(1)
+	opt.EventDriven = true
+	serial := runCSV(t, opt, 200)
+	for _, workers := range []int{2, 4} {
+		o := opt
+		o.Workers = workers
+		if got := runCSV(t, o, 200); got != serial {
+			t.Fatalf("event-driven workers=%d output differs from serial with LC jobs", workers)
+		}
+	}
+	o := opt
+	o.Workers = 0
+	if got := runCSV(t, o, 200); got != serial {
+		t.Fatal("event-driven same-seed replay diverged with LC jobs")
+	}
+}
+
+// TestBatchFleetInert: with no LC jobs in the pool the SLO columns are
+// constant (0 nodes, attainment 1) and the summary renders without any
+// SLO fields — the subsystem is invisible to batch-only fleets.
+func TestBatchFleetInert(t *testing.T) {
+	c, err := New(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LCNodes != 0 || st.SLOViolatingNodes != 0 || st.SLOAttainment != 1 {
+		t.Fatalf("batch-only tick carries SLO state: %+v", st)
+	}
+	s := c.Summary()
+	if s.LCTicks != 0 || s.SLOViolatingNodeTicks != 0 {
+		t.Fatalf("batch-only summary carries SLO state: %+v", s)
+	}
+	if strings.Contains(s.String(), "slo") {
+		t.Fatalf("batch-only summary renders SLO fields: %s", s)
+	}
+}

@@ -100,6 +100,7 @@ func Experiments() []Experiment {
 		{"fig18", "Observed-performance variation with and without prioritization", RunFig18},
 		{"fig19", "Prioritizing the weaker goal outperforms the stronger", RunFig19},
 		{"mix-change", "Workload-mix change absorbed without re-initialization", RunMixChange},
+		{"slo", "Violation-driven goal switching on a mixed batch+LC co-location", RunSLO},
 		{"scalability", "SATORI-PARTIES gap grows with co-location degree", RunScalability},
 		{"clite", "CLITE (BO, static objective) vs PARTIES and SATORI", RunCLITE},
 		{"ablation-resources", "SATORI restricted to dCAT's and CoPart's resources", RunAblationResources},

@@ -47,6 +47,23 @@ func TestGoldenFig7Smoke(t *testing.T) {
 	goldenCompare(t, rep, 0, "fig7_smoke.csv")
 }
 
+// SLO recovery at 200 ticks: -run slo -ticks 200 -seed 42. This golden
+// pins the whole SLO subsystem end to end — the latency model's derived
+// quantiles, the hysteretic detector's onset/clear schedule, and the
+// violation-driven goal switch — any of which would shift the violated-
+// tick counts or recovery times captured here.
+func TestGoldenSLOSmoke(t *testing.T) {
+	e, ok := FindExperiment("slo")
+	if !ok {
+		t.Fatal("slo not registered")
+	}
+	rep, err := e.Run(ExpOptions{Ticks: 200, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, rep, 0, "slo_200.csv")
+}
+
 // Mix change at 200 ticks: -run mix-change -ticks 200 -seed 42. Ticks=200
 // puts the mid-run churn exactly on a 100-tick equalization boundary, so
 // this golden also pins the "churn preempts the periodic refresh"

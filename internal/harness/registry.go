@@ -15,7 +15,10 @@ import (
 // option structs are built fresh per lookup and never shared between
 // concurrent runs.
 var policyRegistry = map[string]func() PolicyFactory{
-	"satori":            func() PolicyFactory { return SatoriFactory(core.Options{}) },
+	"satori": func() PolicyFactory { return SatoriFactory(core.Options{}) },
+	"satori-slo": func() PolicyFactory {
+		return SatoriFactory(core.Options{Scheduler: core.SchedulerOptions{Mode: core.WeightsSLOAware}})
+	},
 	"satori-static":     func() PolicyFactory { return SatoriStaticFactory(0.5) },
 	"satori-throughput": func() PolicyFactory { return SatoriStaticFactory(1) },
 	"satori-fairness":   func() PolicyFactory { return SatoriStaticFactory(0) },

@@ -41,6 +41,12 @@ const (
 	// SumIPS is the sum of instructions per second across jobs, the
 	// default metric in the paper's evaluation (Sec. IV).
 	SumIPS
+	// P99Latency scores the tail-latency headroom of the co-location's
+	// latency-critical jobs: the mean of clamp(target/p99, 0, 1) over
+	// jobs carrying an SLO spec (see internal/slo). Per-job latency
+	// lives in the control loop's SLO tracker, so layers below the loop
+	// — and co-locations with no LC jobs — fall back to SumIPS.
+	P99Latency
 )
 
 // Resolve maps the DefaultThroughput sentinel to the concrete default
@@ -63,6 +69,8 @@ func (m ThroughputMetric) String() string {
 		return "harmonic-speedup"
 	case SumIPS:
 		return "sum-ips"
+	case P99Latency:
+		return "p99-latency"
 	default:
 		return fmt.Sprintf("ThroughputMetric(%d)", int(m))
 	}
@@ -81,6 +89,12 @@ const (
 	// OneMinusCoV is the 1−CoV fairness metric; it is 1 under perfect
 	// fairness and can be negative under severe unfairness.
 	OneMinusCoV
+	// SLOAttainment scores the fraction of latency-critical requests
+	// served within their p99 targets: the mean AttainFrac over jobs
+	// carrying an SLO spec (see internal/slo). Like P99Latency the
+	// latency data lives in the control loop's SLO tracker; contexts
+	// without it fall back to JainIndex.
+	SLOAttainment
 )
 
 // Resolve maps the DefaultFairness sentinel to the concrete default
@@ -101,6 +115,8 @@ func (m FairnessMetric) String() string {
 		return "jain"
 	case OneMinusCoV:
 		return "one-minus-cov"
+	case SLOAttainment:
+		return "slo-attainment"
 	default:
 		return fmt.Sprintf("FairnessMetric(%d)", int(m))
 	}
@@ -131,7 +147,10 @@ func Throughput(m ThroughputMetric, values []float64) float64 {
 		return stats.GeoMean(values)
 	case HarmonicMeanSpeedup:
 		return stats.HarmonicMean(values)
-	case SumIPS:
+	case SumIPS, P99Latency:
+		// P99Latency needs per-job latency data, which only the control
+		// loop's SLO tracker holds; at this layer it degrades to the
+		// SumIPS aggregation it sits next to.
 		return stats.Sum(values)
 	default:
 		panic("metrics: unknown throughput metric")
@@ -142,7 +161,10 @@ func Throughput(m ThroughputMetric, values []float64) float64 {
 func Fairness(m FairnessMetric, speedups []float64) float64 {
 	cov := stats.CoV(speedups)
 	switch m.Resolve() {
-	case JainIndex:
+	case JainIndex, SLOAttainment:
+		// SLOAttainment needs per-job latency data, which only the
+		// control loop's SLO tracker holds; at this layer it degrades
+		// to the JainIndex it sits next to.
 		return 1 / (1 + cov*cov)
 	case OneMinusCoV:
 		return 1 - cov
@@ -164,7 +186,10 @@ func NormalizedThroughput(m ThroughputMetric, ips, isolated []float64) float64 {
 	case GeoMeanSpeedup, HarmonicMeanSpeedup:
 		t := Throughput(m, Speedups(ips, isolated))
 		return stats.Clamp(t, 0, 1)
-	case SumIPS:
+	case SumIPS, P99Latency:
+		// See Throughput: without a latency tracker P99Latency scores
+		// as SumIPS. The control loop substitutes the real headroom
+		// score when LC jobs are present.
 		denom := stats.Sum(isolated)
 		if denom <= 0 {
 			return 0

@@ -39,6 +39,15 @@ type Observation struct {
 	// this observation (start of run, equalization boundary, or job
 	// arrival/departure).
 	BaselineReset bool
+	// SLOViolating is the hysteretic SLO-violation state of the
+	// co-location's latency-critical jobs (always false when there are
+	// none). SLO-aware weight schedulers pin their goal arbitration to
+	// recovery while it holds (core.WeightsSLOAware).
+	SLOViolating bool
+	// SLOAttainment is the mean fraction of latency-critical requests
+	// served within their p99 targets this interval (0 when there are
+	// no LC jobs).
+	SLOAttainment float64
 }
 
 // Policy decides resource partitions from interval observations.

@@ -11,6 +11,7 @@ import (
 
 	"satori/internal/resource"
 	"satori/internal/sim"
+	"satori/internal/slo"
 	"satori/internal/stats"
 )
 
@@ -282,6 +283,17 @@ func (f *FaultInjector) Calls(op FaultOp) int { return f.calls[op] }
 
 // Inner returns the wrapped platform.
 func (f *FaultInjector) Inner() Platform { return f.inner }
+
+// SLOSpecs forwards the SLOProvider capability (promoted into every
+// capability wrapper, so LC tracking survives fault injection). A nil
+// result — the inner platform lacks the capability or carries no specs
+// — leaves the control loop's SLO tracker disabled, as usual.
+func (f *FaultInjector) SLOSpecs() []*slo.Spec {
+	if p, ok := f.inner.(SLOProvider); ok {
+		return p.SLOSpecs()
+	}
+	return nil
+}
 
 // next advances op's call counter and resolves the fault (if any) firing
 // on this call: scripted faults first, then the seeded random stream.

@@ -22,6 +22,7 @@ import (
 
 	"satori/internal/resource"
 	"satori/internal/sim"
+	"satori/internal/slo"
 )
 
 // JobAllocation is the hardware view of one job's share under a Plan.
@@ -229,6 +230,17 @@ type FastSampler interface {
 	FastHorizon() int
 }
 
+// SLOProvider is the optional latency-critical capability of a Platform:
+// SLOSpecs exposes the per-slot SLO specs of the live job set, nil
+// entries marking batch jobs. The control loop consults it once per
+// (re)build — a platform whose specs are all nil (or that does not
+// implement the interface at all) gets no SLO tracking and behaves
+// bit-identically to a pre-SLO loop. After membership churn the slice
+// must describe the post-churn job set.
+type SLOProvider interface {
+	SLOSpecs() []*slo.Spec
+}
+
 // BatchSampler is the optional batched extension of FastSampler: SkipFast
 // advances n intervals in one coarse O(jobs) jump instead of n
 // extrapolated per-interval samples. The jump is deterministic (a pure
@@ -321,6 +333,9 @@ func (p *SimPlatform) FastHorizon() int { return p.sim.SampledHorizon() }
 // SkipFast implements BatchSampler via the simulator's coarse batched
 // advance.
 func (p *SimPlatform) SkipFast(n int) bool { return p.sim.SkipSampled(n) }
+
+// SLOSpecs implements SLOProvider via the simulator's live job set.
+func (p *SimPlatform) SLOSpecs() []*slo.Spec { return p.sim.SLOSpecs() }
 
 // MeasureIsolated implements Platform.
 func (p *SimPlatform) MeasureIsolated() ([]float64, error) {

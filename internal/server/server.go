@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -45,6 +46,12 @@ type Options struct {
 	// Injector, when the platform is wrapped in a fault injector,
 	// surfaces ground-truth fault counts in /status.
 	Injector *rdt.FaultInjector
+	// SLOUnhealthyAfter, when positive, makes /healthz report 503 once a
+	// latency-critical job's SLO violation has persisted for this many
+	// consecutive ticks — the orchestrator-facing "this node needs
+	// help" signal. Zero (the default) keeps /healthz purely about loop
+	// health, SLO state notwithstanding.
+	SLOUnhealthyAfter int
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -60,6 +67,7 @@ type Server struct {
 	tickEvery time.Duration
 	maxTicks  int
 	injector  *rdt.FaultInjector
+	sloAfter  int
 	logf      func(string, ...any)
 
 	subMu   sync.Mutex
@@ -85,6 +93,7 @@ func New(opt Options) (*Server, error) {
 		tickEvery: tickEvery,
 		maxTicks:  opt.MaxTicks,
 		injector:  opt.Injector,
+		sloAfter:  opt.SLOUnhealthyAfter,
 		logf:      logf,
 		subs:      map[int]chan TickMetrics{},
 	}, nil
@@ -160,16 +169,53 @@ type TickMetrics struct {
 	Degraded     bool    `json:"degraded,omitempty"`
 	SafeFallback bool    `json:"safeFallback,omitempty"`
 	Rejected     bool    `json:"rejectedApply,omitempty"`
+	// SLO is present exactly when the loop tracks latency-critical jobs.
+	SLO *TickSLO `json:"slo,omitempty"`
+}
+
+// TickSLO is the per-tick latency-critical block: per-slot tail-latency
+// quantiles in seconds (-1 marks a saturated service whose queue is
+// unbounded — JSON cannot carry +Inf), the mean SLO attainment, and the
+// hysteretic violation / goal-switch state.
+type TickSLO struct {
+	P95          []float64 `json:"p95"`
+	P99          []float64 `json:"p99"`
+	Attainment   float64   `json:"attainment"`
+	Violating    bool      `json:"violating"`
+	GoalSwitched bool      `json:"goalSwitched,omitempty"`
+}
+
+// finiteLatencies sanitizes a quantile slice for JSON: +Inf → -1.
+func finiteLatencies(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		if math.IsInf(v, 1) {
+			out[i] = -1
+			continue
+		}
+		out[i] = v
+	}
+	return out
 }
 
 func tickMetrics(st control.Status, jobs int) TickMetrics {
-	return TickMetrics{
+	m := TickMetrics{
 		Tick: st.Tick, Time: st.Time, Jobs: jobs,
 		Throughput: st.Throughput, Fairness: st.Fairness,
 		BaselineRst: st.BaselineReset, Sampled: st.SampledTick,
 		BadSample: st.BadSample, Degraded: st.Degraded,
 		SafeFallback: st.SafeFallback, Rejected: st.RejectedApply != nil,
 	}
+	if len(st.P99) > 0 {
+		m.SLO = &TickSLO{
+			P95:          finiteLatencies(st.P95),
+			P99:          finiteLatencies(st.P99),
+			Attainment:   st.SLOAttainment,
+			Violating:    st.SLOViolating,
+			GoalSwitched: st.GoalSwitched,
+		}
+	}
+	return m
 }
 
 // publish fans an event out to every subscriber; a subscriber whose
@@ -253,15 +299,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // HealthResponse is the /healthz schema.
 type HealthResponse struct {
-	Status string         `json:"status"` // "ok" | "degraded" | "stopped"
+	Status string         `json:"status"` // "ok" | "degraded" | "stopped" | "slo-violation"
 	Health control.Health `json:"health"`
-	Error  string         `json:"error,omitempty"`
+	// SLOViolationRun is the length of the current sustained SLO
+	// violation in ticks (only set when the status is "slo-violation").
+	SLOViolationRun int    `json:"sloViolationRun,omitempty"`
+	Error           string `json:"error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	h := s.loop.Health()
 	stopped, runErr := s.stopped, s.runErr
+	violRun := s.loop.SLOViolationRun()
 	s.mu.Unlock()
 	resp := HealthResponse{Status: "ok", Health: h}
 	code := http.StatusOK
@@ -274,6 +324,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		code = http.StatusServiceUnavailable
 	case !h.Healthy():
 		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	case s.sloAfter > 0 && violRun >= s.sloAfter:
+		// Flag-gated: a sustained SLO violation marks the node unhealthy
+		// so an orchestrator can drain or rebalance it.
+		resp.Status = "slo-violation"
+		resp.SLOViolationRun = violRun
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, resp)
@@ -291,6 +347,18 @@ type StatusResponse struct {
 	Summary    control.Summary  `json:"summary"`
 	Health     control.Health   `json:"health"`
 	Faults     *rdt.FaultCounts `json:"injectedFaults,omitempty"`
+	// SLO is present exactly when the loop tracks latency-critical jobs.
+	SLO *SLOStatus `json:"slo,omitempty"`
+}
+
+// SLOStatus is the /status latency-critical block.
+type SLOStatus struct {
+	// TargetsP99 holds each slot's p99 target in seconds (0 = batch job).
+	TargetsP99 []float64 `json:"targetsP99"`
+	// Violating is the hysteretic violation state; ViolationRun its
+	// current length in ticks.
+	Violating    bool `json:"violating"`
+	ViolationRun int  `json:"violationRun"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -309,6 +377,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if s.haveLast {
 		m := tickMetrics(s.last, s.loop.NumJobs())
 		resp.Last = &m
+	}
+	if specs := s.loop.SLOSpecs(); specs != nil {
+		slo := &SLOStatus{
+			TargetsP99:   make([]float64, len(specs)),
+			Violating:    s.loop.SLOViolating(),
+			ViolationRun: s.loop.SLOViolationRun(),
+		}
+		for i, sp := range specs {
+			if sp != nil {
+				slo.TargetsP99[i] = sp.TargetP99
+			}
+		}
+		resp.SLO = slo
 	}
 	// The injector read also needs the lock: its counters mutate inside
 	// Step, which runs under s.mu.
@@ -435,8 +516,10 @@ func parseThroughput(name string) (metrics.ThroughputMetric, error) {
 		return metrics.GeoMeanSpeedup, nil
 	case "harmonic-speedup", "harmonic":
 		return metrics.HarmonicMeanSpeedup, nil
+	case "p99-latency", "p99":
+		return metrics.P99Latency, nil
 	}
-	return 0, fmt.Errorf("unknown throughput metric %q (valid: sum-ips, geomean-speedup, harmonic-speedup)", name)
+	return 0, fmt.Errorf("unknown throughput metric %q (valid: sum-ips, geomean-speedup, harmonic-speedup, p99-latency)", name)
 }
 
 // parseFairness resolves a fairness-metric name.
@@ -446,8 +529,10 @@ func parseFairness(name string) (metrics.FairnessMetric, error) {
 		return metrics.JainIndex, nil
 	case "one-minus-cov", "cov":
 		return metrics.OneMinusCoV, nil
+	case "slo-attainment", "attainment":
+		return metrics.SLOAttainment, nil
 	}
-	return 0, fmt.Errorf("unknown fairness metric %q (valid: jain, one-minus-cov)", name)
+	return 0, fmt.Errorf("unknown fairness metric %q (valid: jain, one-minus-cov, slo-attainment)", name)
 }
 
 // handleStream serves NDJSON per-tick metrics until the client

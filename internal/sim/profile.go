@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"satori/internal/slo"
+)
 
 // Phase describes one program phase of a workload: a quantum of work with
 // fixed resource sensitivities. Jobs progress through phases by completing
@@ -65,6 +69,12 @@ type Profile struct {
 	// Phases is the phase schedule; the job loops back to Phases[0]
 	// after the last phase completes.
 	Phases []Phase
+	// SLO, when non-nil, marks the workload latency-critical: observed
+	// IPS maps to request latency through the queueing model in
+	// internal/slo and the control layers track tail latency against
+	// SLO.TargetP99. Batch jobs leave it nil, and every layer above is
+	// inert — bit-exact with pre-SLO behavior — without it.
+	SLO *slo.Spec
 }
 
 // Validate checks the profile and all its phases.
@@ -77,6 +87,11 @@ func (p *Profile) Validate() error {
 	}
 	for _, ph := range p.Phases {
 		if err := ph.Validate(); err != nil {
+			return fmt.Errorf("sim: profile %q: %w", p.Name, err)
+		}
+	}
+	if p.SLO != nil {
+		if err := p.SLO.Validate(); err != nil {
 			return fmt.Errorf("sim: profile %q: %w", p.Name, err)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"satori/internal/resource"
+	"satori/internal/slo"
 )
 
 func testProfile(name string) *Profile {
@@ -788,5 +789,78 @@ func TestSampledHorizonBoundsExtrapolation(t *testing.T) {
 	}
 	if got := s.SampledHorizon(); got != 0 {
 		t.Errorf("horizon = %d after AddJob, want 0", got)
+	}
+}
+
+// The SLO-boundary analog of the phase-edge refusal: a latency-critical
+// job whose model IPS sits within the onset margin of its critical rate
+// gets NO extrapolation promise — per-tick noise could flip the
+// violation verdict, and a sampled or skipped tick would jump the
+// control loop straight over the onset. This test fails if the fast
+// paths ever extrapolate inside the band.
+func TestSampledRefusesNearSLOBoundary(t *testing.T) {
+	// A single long phase so the only horizon limiter under test is the
+	// SLO boundary, not phase edges.
+	lcBase := func(name string) *Profile {
+		p := testProfile(name)
+		p.Phases = p.Phases[:1]
+		p.Phases[0].Instructions = 1e13
+		return p
+	}
+	// Measure the equal-split exact IPS of job 0 in a noise-free twin.
+	probe, err := New(DefaultMachine(), []*Profile{lcBase("lc0"), testProfile("j1")}, Options{NoiseSigma: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := probe.ExactIPS(probe.Current())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A spec whose critical rate equals the observed rate: the job runs
+	// dead on the boundary. Spec arithmetic: crit = SI*(λ + ln100/target).
+	specAt := func(crit float64) *slo.Spec {
+		const lambda, target = 100.0, 0.02
+		return &slo.Spec{
+			TargetP99:           target,
+			ServiceInstructions: crit / (lambda + math.Log(100)/target),
+			ArrivalRate:         lambda,
+		}
+	}
+	onBoundary := lcBase("lc0")
+	onBoundary.SLO = specAt(exact[0])
+
+	ps := []*Profile{onBoundary, testProfile("j1")}
+	s, err := New(DefaultMachine(), ps, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		s.Step()
+		if h := s.SampledHorizon(); h != 0 {
+			t.Fatalf("tick %d: SampledHorizon = %d with an LC job on its critical boundary, want 0", i+1, h)
+		}
+		if _, ok := s.StepSampled(); ok {
+			t.Fatalf("tick %d: StepSampled extrapolated across the SLO boundary", i+1)
+		}
+		if s.SkipSampled(1) {
+			t.Fatalf("tick %d: SkipSampled jumped the SLO boundary", i+1)
+		}
+	}
+
+	// The same job with its critical rate far below the observed rate is
+	// comfortably attaining: the fast paths work exactly as for batch.
+	comfortable := lcBase("lc0")
+	comfortable.SLO = specAt(exact[0] / 2)
+	s2, err := New(DefaultMachine(), []*Profile{comfortable, testProfile("j1")}, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 0
+	for i := 0; i < 300 && h == 0; i++ {
+		s2.Step()
+		h = s2.SampledHorizon()
+	}
+	if h == 0 {
+		t.Fatal("no extrapolation promise for a comfortably attaining LC job")
 	}
 }

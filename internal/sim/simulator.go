@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"satori/internal/resource"
+	"satori/internal/slo"
 	"satori/internal/stats"
 )
 
@@ -50,6 +51,18 @@ type job struct {
 	profile  *Profile
 	phaseIdx int
 	workDone float64 // instructions completed in the current phase
+	// critical caches profile.SLO.CriticalIPS() for latency-critical
+	// jobs (0 for batch): the model-IPS threshold below which the job
+	// violates its p99 target, consulted by the extrapolation guards.
+	critical float64
+}
+
+func newJob(p *Profile) *job {
+	j := &job{profile: p}
+	if p.SLO != nil {
+		j.critical = p.SLO.CriticalIPS()
+	}
+	return j
 }
 
 // New builds a simulator running one job per profile, starting from the
@@ -88,7 +101,7 @@ func New(spec MachineSpec, profiles []*Profile, opt Options) (*Simulator, error)
 		iPower: resourceIndex(space, resource.Power),
 	}
 	for _, p := range profiles {
-		s.jobs = append(s.jobs, &job{profile: p})
+		s.jobs = append(s.jobs, newJob(p))
 	}
 	s.current = space.EqualSplit()
 	return s, nil
@@ -105,6 +118,30 @@ func (s *Simulator) NumJobs() int { return len(s.jobs) }
 
 // JobName returns the profile name of job j.
 func (s *Simulator) JobName(j int) string { return s.jobs[j].profile.Name }
+
+// SLOSpecs returns the per-slot SLO specs of the live job set, nil
+// entries marking batch jobs. The slice is freshly allocated (callers
+// hold it across churn); it is nil-safe to range even when no job is
+// latency-critical.
+func (s *Simulator) SLOSpecs() []*slo.Spec {
+	specs := make([]*slo.Spec, len(s.jobs))
+	for j, jb := range s.jobs {
+		specs[j] = jb.profile.SLO
+	}
+	return specs
+}
+
+// nearSLOBoundary reports whether a latency-critical job's cached model
+// IPS sits within the onset margin of its critical rate — close enough
+// that per-tick noise can flip the violation verdict. Extrapolation
+// fast paths refuse inside the band so an SLO-violation onset is never
+// jumped over; batch jobs (critical == 0) never trigger it.
+func (s *Simulator) nearSLOBoundary(jb *job, ips float64) bool {
+	if jb.critical == 0 {
+		return false
+	}
+	return math.Abs(ips-jb.critical) <= slo.DefaultOnsetMargin*jb.critical
+}
 
 // Now returns the simulated time in seconds.
 func (s *Simulator) Now() float64 { return float64(s.ticks) * TickSeconds }
@@ -180,7 +217,7 @@ func (s *Simulator) ReplaceJob(j int, p *Profile) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	s.jobs[j] = &job{profile: p}
+	s.jobs[j] = newJob(p)
 	s.ipsValid = false
 	return nil
 }
@@ -201,7 +238,7 @@ func (s *Simulator) AddJob(p *Profile) error {
 	if err != nil {
 		return fmt.Errorf("sim: AddJob: %w", err)
 	}
-	s.jobs = append(s.jobs, &job{profile: p})
+	s.jobs = append(s.jobs, newJob(p))
 	s.installSpace(space)
 	return nil
 }
@@ -445,6 +482,12 @@ func (s *Simulator) SampledHorizon() int {
 		if ips <= 0 {
 			return 0
 		}
+		// An LC job running near its critical rate is treated like an
+		// imminent phase edge: the violation verdict could flip any
+		// tick, so no extrapolation horizon is promised at all.
+		if s.nearSLOBoundary(jb, ips) {
+			return 0
+		}
 		left := jb.phase().Instructions - jb.workDone
 		// The m-th sampled tick succeeds iff m < left/(ips·dt) (each
 		// prior tick consumed ips·dt instructions); floor minus one
@@ -507,6 +550,11 @@ func (s *Simulator) StepSampled() (Sample, bool) {
 		ips := s.modelIPS[j]
 		left := jb.phase().Instructions - jb.workDone
 		if t := left / ips; t <= dt {
+			return Sample{}, false
+		}
+		// Near an SLO-violation boundary the caller must fall back to
+		// detailed stepping, mirroring SampledHorizon's refusal.
+		if s.nearSLOBoundary(jb, ips) {
 			return Sample{}, false
 		}
 	}

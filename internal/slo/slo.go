@@ -1,0 +1,196 @@
+// Package slo models latency-critical (LC) jobs: a queueing-style
+// IPS→latency model, per-job SLO targets, and the scores and hysteretic
+// violation detector the control layers use to react to tail-latency
+// trouble.
+//
+// The model is deliberately a pure function of observed IPS. A job with
+// a Spec serves requests whose mean service demand is ServiceInstructions
+// instructions; at an observed rate of ips instructions/second the job
+// drains requests at rate mu = ips/ServiceInstructions while load
+// arrives at rate lambda = ArrivalRate. Treating the job as an M/M/1
+// queue, the sojourn time is exponential with rate (mu - lambda), so the
+// q-quantile latency is
+//
+//	L(q) = -ln(1-q) / (mu - lambda)   (infinite when mu <= lambda).
+//
+// Because latency derives from the same (already noisy) IPS samples the
+// rest of the stack consumes, adding LC jobs draws nothing extra from
+// the RNG stream: simulation dynamics, goldens, and the bit-exactness of
+// the sampled fast path are untouched when no Spec is present, and
+// deterministic when one is.
+package slo
+
+import (
+	"fmt"
+	"math"
+)
+
+// ln100 converts a p99 target into a rate requirement:
+// p99 <= target  <=>  mu - lambda >= ln(100)/target.
+var ln100 = math.Log(100)
+
+// Spec is a per-job service-level objective for a latency-critical job.
+type Spec struct {
+	// TargetP99 is the SLO itself: the 99th-percentile request latency
+	// the job must stay under, in seconds.
+	TargetP99 float64
+	// ServiceInstructions is the mean number of instructions retired
+	// per request, linking observed IPS to the service rate.
+	ServiceInstructions float64
+	// ArrivalRate is the offered load in requests per second.
+	ArrivalRate float64
+}
+
+// Validate reports the first ill-formed field.
+func (s *Spec) Validate() error {
+	switch {
+	case !(s.TargetP99 > 0) || math.IsInf(s.TargetP99, 0):
+		return fmt.Errorf("slo: target p99 must be positive and finite, got %v", s.TargetP99)
+	case !(s.ServiceInstructions > 0) || math.IsInf(s.ServiceInstructions, 0):
+		return fmt.Errorf("slo: service instructions must be positive and finite, got %v", s.ServiceInstructions)
+	case !(s.ArrivalRate > 0) || math.IsInf(s.ArrivalRate, 0):
+		return fmt.Errorf("slo: arrival rate must be positive and finite, got %v", s.ArrivalRate)
+	}
+	return nil
+}
+
+// Latency returns the q-quantile request latency (seconds) at the given
+// instruction rate, +Inf when the queue is saturated (mu <= lambda).
+func (s *Spec) Latency(ips, q float64) float64 {
+	mu := ips / s.ServiceInstructions
+	if mu <= s.ArrivalRate {
+		return math.Inf(1)
+	}
+	return -math.Log(1-q) / (mu - s.ArrivalRate)
+}
+
+// P50 is the median request latency at the given instruction rate.
+func (s *Spec) P50(ips float64) float64 { return s.Latency(ips, 0.50) }
+
+// P95 is the 95th-percentile request latency at the given instruction rate.
+func (s *Spec) P95(ips float64) float64 { return s.Latency(ips, 0.95) }
+
+// P99 is the 99th-percentile request latency at the given instruction rate.
+func (s *Spec) P99(ips float64) float64 { return s.Latency(ips, 0.99) }
+
+// CriticalIPS is the minimum instruction rate at which the job exactly
+// meets its p99 target; below it the job is violating.
+func (s *Spec) CriticalIPS() float64 {
+	return s.ServiceInstructions * (s.ArrivalRate + ln100/s.TargetP99)
+}
+
+// Violating reports whether the given instruction rate leaves p99 above
+// the target.
+func (s *Spec) Violating(ips float64) bool { return ips < s.CriticalIPS() }
+
+// AttainFrac is the fraction of requests served within the p99 target
+// at the given instruction rate: 1 - exp(-(mu-lambda)*target), or 0
+// when saturated. At exactly CriticalIPS it equals 0.99, so "attaining"
+// means AttainFrac >= 0.99.
+func (s *Spec) AttainFrac(ips float64) float64 {
+	mu := ips / s.ServiceInstructions
+	if mu <= s.ArrivalRate {
+		return 0
+	}
+	return 1 - math.Exp(-(mu-s.ArrivalRate)*s.TargetP99)
+}
+
+// Headroom scores how comfortably the job meets its target:
+// clamp(target/p99, 0, 1). 1 at twice the needed rate margin, shrinking
+// toward 0 as the queue saturates.
+func (s *Spec) Headroom(ips float64) float64 {
+	p99 := s.P99(ips)
+	if math.IsInf(p99, 1) {
+		return 0
+	}
+	h := s.TargetP99 / p99
+	if h > 1 {
+		return 1
+	}
+	return h
+}
+
+// HasLC reports whether any slot carries a Spec (nil entries are batch
+// jobs).
+func HasLC(specs []*Spec) bool {
+	for _, s := range specs {
+		if s != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// HeadroomScore is the mean Headroom over LC jobs, the throughput-side
+// score behind metrics.P99Latency. 1 when no job carries a Spec.
+func HeadroomScore(specs []*Spec, ips []float64) float64 {
+	sum, n := 0.0, 0
+	for j, s := range specs {
+		if s == nil {
+			continue
+		}
+		sum += s.Headroom(ips[j])
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// AttainmentScore is the mean AttainFrac over LC jobs, the fairness-side
+// score behind metrics.SLOAttainment. 1 when no job carries a Spec.
+func AttainmentScore(specs []*Spec, ips []float64) float64 {
+	sum, n := 0.0, 0
+	for j, s := range specs {
+		if s == nil {
+			continue
+		}
+		sum += s.AttainFrac(ips[j])
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// RecoveryScore is the minimum AttainFrac over LC jobs — the worst
+// service's attainment. Violation-driven goal switching scores this
+// rather than the mean: one healthy service cannot mask a starving one,
+// so the optimizer keeps a usable gradient until every SLO is met.
+// 1 when no job carries a Spec.
+func RecoveryScore(specs []*Spec, ips []float64) float64 {
+	min, n := 1.0, 0
+	for j, s := range specs {
+		if s == nil {
+			continue
+		}
+		if a := s.AttainFrac(ips[j]); n == 0 || a < min {
+			min = a
+		}
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return min
+}
+
+// AnyViolating reports whether any LC job's instruction rate is below
+// its critical rate — the per-tick verdict fed to the Detector.
+func AnyViolating(specs []*Spec, ips []float64) bool {
+	for j, s := range specs {
+		if s != nil && s.Violating(ips[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultOnsetMargin is the relative band around a job's CriticalIPS
+// inside which the simulator's extrapolation fast paths refuse to skip:
+// within ±margin·critical the per-tick noise (~2% sigma) can flip the
+// violation verdict, so a skip could jump the control loop straight
+// over an SLO-violation onset. 0.10 is ≈5 sigma of the default noise.
+const DefaultOnsetMargin = 0.10

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"satori/internal/sim"
+	"satori/internal/slo"
 )
 
 // jsonProfile is the on-disk schema for a workload profile. It mirrors
@@ -15,6 +16,15 @@ type jsonProfile struct {
 	Name   string      `json:"name"`
 	Suite  string      `json:"suite,omitempty"`
 	Phases []jsonPhase `json:"phases"`
+	SLO    *jsonSLO    `json:"slo,omitempty"`
+}
+
+// jsonSLO is the optional latency-critical section: present, the
+// profile is an LC job with a p99 target (see slo.Spec for semantics).
+type jsonSLO struct {
+	TargetP99           float64 `json:"target_p99"`
+	ServiceInstructions float64 `json:"service_instructions"`
+	ArrivalRate         float64 `json:"arrival_rate"`
 }
 
 type jsonPhase struct {
@@ -34,6 +44,13 @@ func WriteProfiles(w io.Writer, profiles []*sim.Profile) error {
 	out := make([]jsonProfile, len(profiles))
 	for i, p := range profiles {
 		jp := jsonProfile{Name: p.Name, Suite: p.Suite, Phases: make([]jsonPhase, len(p.Phases))}
+		if p.SLO != nil {
+			jp.SLO = &jsonSLO{
+				TargetP99:           p.SLO.TargetP99,
+				ServiceInstructions: p.SLO.ServiceInstructions,
+				ArrivalRate:         p.SLO.ArrivalRate,
+			}
+		}
 		for k, ph := range p.Phases {
 			jp.Phases[k] = jsonPhase{
 				Name: ph.Name, Instructions: ph.Instructions, IPSPeak: ph.IPSPeak,
@@ -66,6 +83,13 @@ func ReadProfiles(r io.Reader) ([]*sim.Profile, error) {
 		p := &sim.Profile{Name: jp.Name, Suite: jp.Suite, Phases: make([]sim.Phase, len(jp.Phases))}
 		if p.Suite == "" {
 			p.Suite = "custom"
+		}
+		if jp.SLO != nil {
+			p.SLO = &slo.Spec{
+				TargetP99:           jp.SLO.TargetP99,
+				ServiceInstructions: jp.SLO.ServiceInstructions,
+				ArrivalRate:         jp.SLO.ArrivalRate,
+			}
 		}
 		for k, ph := range jp.Phases {
 			p.Phases[k] = sim.Phase{

@@ -27,6 +27,7 @@ const (
 	SuitePARSEC     = "parsec"
 	SuiteCloudSuite = "cloudsuite"
 	SuiteECP        = "ecp"
+	// SuiteLC (the latency-critical suite) is declared in lc.go.
 )
 
 // phase builds a sim.Phase from a duration in typical co-located
@@ -250,12 +251,14 @@ func ECP() []*sim.Profile {
 	}
 }
 
-// Suites returns all three suites keyed by name.
+// Suites returns all suites keyed by name (the three batch suites plus
+// the latency-critical profiles of lc.go).
 func Suites() map[string][]*sim.Profile {
 	return map[string][]*sim.Profile{
 		SuitePARSEC:     PARSEC(),
 		SuiteCloudSuite: CloudSuite(),
 		SuiteECP:        ECP(),
+		SuiteLC:         LC(),
 	}
 }
 

@@ -40,8 +40,9 @@ func TestNoDuplicateNames(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	if len(seen) != 17 {
-		t.Errorf("total benchmarks = %d, want 17", len(seen))
+	// 17 batch benchmarks (Tables I-III) + 3 latency-critical services.
+	if len(seen) != 20 {
+		t.Errorf("total benchmarks = %d, want 20", len(seen))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"satori/internal/rdt"
 	"satori/internal/resource"
 	"satori/internal/sim"
+	"satori/internal/slo"
 )
 
 // Re-exported model types. These aliases are the public names of the
@@ -45,6 +46,11 @@ type (
 	// Health is the loop's liveness summary: consecutive failures,
 	// circuit-breaker state, and the resilience counters.
 	Health = control.Health
+	// SLOSpec declares a latency-critical job's service-level objective:
+	// target p99, per-request service demand, and offered load. Attach
+	// one to Workload.SLO to make a job latency-critical (see
+	// internal/slo for the M/M/1 latency model behind it).
+	SLOSpec = slo.Spec
 )
 
 // Resource kinds.
@@ -95,6 +101,12 @@ type SessionConfig struct {
 	// bit-identical to a fully detailed run, so this is purely a
 	// per-tick cost knob.
 	Sampled bool
+	// SLOGoalSwitch arbitrates goals under SLO violations: while a
+	// violation persists (hysteretically detected), the fairness channel
+	// is re-scored as the worst LC service's attainment so the optimizer
+	// prioritizes SLO recovery; the goal reverts once the violation
+	// clears. No effect without latency-critical workloads.
+	SLOGoalSwitch bool
 }
 
 // Objective metric choices, re-exported. The Default* sentinels are the
@@ -105,9 +117,15 @@ const (
 	GeoMeanSpeedup      = metrics.GeoMeanSpeedup
 	HarmonicMeanSpeedup = metrics.HarmonicMeanSpeedup
 	SumIPS              = metrics.SumIPS
-	DefaultFairness     = metrics.DefaultFairness
-	JainIndex           = metrics.JainIndex
-	OneMinusCoV         = metrics.OneMinusCoV
+	// P99Latency scores tail-latency headroom on the throughput channel
+	// (latency-critical sessions only; falls back to SumIPS otherwise).
+	P99Latency      = metrics.P99Latency
+	DefaultFairness = metrics.DefaultFairness
+	JainIndex       = metrics.JainIndex
+	OneMinusCoV     = metrics.OneMinusCoV
+	// SLOAttainment scores the fraction of LC requests served within
+	// their p99 targets on the fairness channel.
+	SLOAttainment = metrics.SLOAttainment
 )
 
 // Session drives one co-location under a policy, one 100 ms interval at
@@ -174,6 +192,7 @@ func NewSessionOn(platform Platform, cfg SessionConfig) (*Session, error) {
 		Fairness:           cfg.FairnessMetric,
 		BaselineResetTicks: cfg.BaselineResetTicks,
 		Sampling:           control.SamplingOptions{Enabled: cfg.Sampled},
+		SLO:                control.SLOOptions{GoalSwitch: cfg.SLOGoalSwitch},
 	})
 	if err != nil {
 		return nil, err

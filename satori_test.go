@@ -162,8 +162,9 @@ func TestSuitesAndWorkloadLookup(t *testing.T) {
 	if w, err := satori.WorkloadByName("canneal"); err != nil || w.Name != "canneal" {
 		t.Errorf("WorkloadByName: %v", err)
 	}
-	if len(satori.WorkloadNames()) != 17 {
-		t.Errorf("WorkloadNames = %d, want 17", len(satori.WorkloadNames()))
+	if len(satori.WorkloadNames()) != 20 {
+		// 17 batch benchmarks plus the 3 latency-critical services.
+		t.Errorf("WorkloadNames = %d, want 20", len(satori.WorkloadNames()))
 	}
 	mixes, err := satori.PaperMixes(satori.SuitePARSEC)
 	if err != nil || len(mixes) != 21 {

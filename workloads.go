@@ -12,10 +12,12 @@ const (
 	SuitePARSEC     = workloads.SuitePARSEC
 	SuiteCloudSuite = workloads.SuiteCloudSuite
 	SuiteECP        = workloads.SuiteECP
+	SuiteLC         = workloads.SuiteLC
 )
 
 // Suite returns fresh copies of a benchmark suite's workload profiles
-// (PARSEC: 7, CloudSuite: 5, ECP: 5 — Tables I-III of the paper).
+// (PARSEC: 7, CloudSuite: 5, ECP: 5 — Tables I-III of the paper — plus
+// the 3-service latency-critical suite).
 func Suite(name string) ([]*Workload, error) {
 	switch name {
 	case SuitePARSEC:
@@ -24,6 +26,8 @@ func Suite(name string) ([]*Workload, error) {
 		return workloads.CloudSuite(), nil
 	case SuiteECP:
 		return workloads.ECP(), nil
+	case SuiteLC:
+		return workloads.LC(), nil
 	}
 	// Delegate the error formatting.
 	_, err := workloads.PaperMixes(name)
@@ -56,6 +60,14 @@ func Mixes(profiles []*Workload, k int) ([]Mix, error) { return workloads.Mixes(
 // PaperMixes returns the paper's mix sets: 21 PARSEC mixes of 5 jobs,
 // 10 CloudSuite mixes of 3, 10 ECP mixes of 2.
 func PaperMixes(suite string) ([]Mix, error) { return workloads.PaperMixes(suite) }
+
+// MixedMixOptions parameterizes MixedMixes.
+type MixedMixOptions = workloads.MixedMixOptions
+
+// MixedMixes generates reproducible mixed batch+latency-critical
+// co-location mixes: each holds ceil(Jobs·LCFraction) LC services with
+// per-instance scaled p99 targets next to distinct batch jobs.
+func MixedMixes(opt MixedMixOptions) ([]Mix, error) { return workloads.MixedMixes(opt) }
 
 // Experiment re-exports the figure-reproduction registry entry.
 type Experiment = harness.Experiment
