@@ -414,6 +414,85 @@ func BenchmarkSessionStepLC(b *testing.B) {
 	}
 }
 
+// benchClusterDecide measures one steady-state Decide over the 24-job
+// jobs ≫ classes co-location (the "cluster" experiment's machine): the
+// cost of choosing the next partition once the policy is warm. Per-job
+// SATORI searches 24 coordinates per resource; clustered SATORI at K=8
+// searches 8 over the reduced cluster space — the speedup is the
+// BENCH_pr10.json gate. Sampling and Apply are excluded so the two
+// variants are compared on exactly the search they run.
+func benchClusterDecide(b *testing.B, factory harness.PolicyFactory) {
+	b.Helper()
+	base := workloads.PARSEC()
+	profiles := make([]*sim.Profile, 24)
+	for i := range profiles {
+		profiles[i] = base[i%len(base)]
+	}
+	machine := sim.MachineSpec{
+		Cores: 48, LLCWays: 32, MemBWUnits: 24,
+		MemBWBytesPerUnit: 7.68e9, LineBytes: 64, MinPowerScale: 0.55,
+	}
+	s, err := sim.New(machine, profiles, sim.Options{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform, err := rdt.NewSimPlatform(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := factory(platform, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iso, err := platform.MeasureIsolated()
+	if err != nil {
+		b.Fatal(err)
+	}
+	current := platform.Current()
+	met := harness.DefaultMetrics()
+	observe := func(tick int) policy.Observation {
+		ips, err := platform.Sample()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return policy.Observation{
+			Tick: tick, IPS: ips, Isolated: iso,
+			Speedups:   metrics.Speedups(ips, iso),
+			Throughput: metrics.NormalizedThroughput(met.Throughput, ips, iso),
+			Fairness:   metrics.NormalizedFairness(met.Fairness, ips, iso),
+		}
+	}
+	// Warm past engine seeding and classifier convergence.
+	tick := 0
+	for ; tick < 200; tick++ {
+		next := pol.Decide(observe(tick+1), current)
+		if err := platform.Apply(next); err == nil {
+			current = platform.Current()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		obs := observe(tick + i + 1)
+		b.StartTimer()
+		next := pol.Decide(obs, current)
+		b.StopTimer()
+		if err := platform.Apply(next); err == nil {
+			current = platform.Current()
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkClusterDecidePerJob24(b *testing.B) {
+	benchClusterDecide(b, harness.SatoriFactory(core.Options{}))
+}
+
+func BenchmarkClusterDecideK8(b *testing.B) {
+	benchClusterDecide(b, harness.ClusteredSatoriFactory(8, core.Options{}))
+}
+
 // BenchmarkSessionTick measures one public-API session step end to end.
 func BenchmarkSessionTick(b *testing.B) {
 	jobs, err := satori.Suite(satori.SuitePARSEC)

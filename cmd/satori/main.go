@@ -30,6 +30,7 @@ import (
 
 	"satori"
 	"satori/internal/rdt"
+	"satori/internal/resource"
 	"satori/internal/sim"
 	"satori/internal/trace"
 )
@@ -40,6 +41,7 @@ func main() {
 	suite := flag.String("suite", "", "pick a paper mix from this suite instead (parsec|cloudsuite|ecp)")
 	mixIdx := flag.Int("mix", 0, "mix index within -suite")
 	policyName := flag.String("policy", "satori", "partitioning policy")
+	clusterK := flag.Int("cluster-k", 0, "cluster jobs onto at most K control groups (satori-clustered/lfoc; with -policy satori this switches to satori-clustered)")
 	seconds := flag.Float64("seconds", 60, "run length in simulated seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
 	power := flag.Int("power", 0, "enable power-cap partitioning with this many units")
@@ -104,7 +106,7 @@ func main() {
 	var sess *satori.Session
 	switch *backend {
 	case "sim":
-		factory, err := satori.NewPolicyByName(*policyName, *seed)
+		factory, err := simPolicy(*policyName, *seed, *clusterK)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,7 +122,7 @@ func main() {
 		}
 	case "resctrl":
 		var err error
-		sess, err = newResctrlSession(machine, jobs, *policyName, *resctrlRoot, *tracePath, *seed, ticks)
+		sess, err = newResctrlSession(machine, jobs, *policyName, *resctrlRoot, *tracePath, *seed, ticks, *clusterK)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -174,7 +176,7 @@ func main() {
 // platform-generic policy, all driven by the same control loop as the
 // simulated backend.
 func newResctrlSession(machine satori.MachineSpec, jobs []*satori.Workload,
-	policyName, root, tracePath string, seed uint64, ticks int) (*satori.Session, error) {
+	policyName, root, tracePath string, seed uint64, ticks, clusterK int) (*satori.Session, error) {
 	if root == "" {
 		return nil, fmt.Errorf("-backend resctrl needs -resctrl-root (the resctrl mount point, e.g. /sys/fs/resctrl, or a scratch directory)")
 	}
@@ -203,11 +205,19 @@ func newResctrlSession(machine satori.MachineSpec, jobs []*satori.Workload,
 	for i, j := range jobs {
 		names[i] = j.Name
 	}
-	platform, err := rdt.NewResctrlPlatform(machine, names, rdt.ResctrlWriter{Root: root}, sampler)
+	// With clustering requested, the platform boots under the same
+	// deterministic round-robin grouping the classifier starts from, so a
+	// job set larger than the tree's CLOS budget passes preflight; the
+	// policy then migrates memberships through the Grouper capability.
+	var grouping *satori.Grouping
+	if k := effectiveClusterK(policyName, clusterK); k > 0 {
+		grouping = resource.RoundRobinGrouping(len(names), k)
+	}
+	platform, err := rdt.NewResctrlPlatformGrouped(machine, names, rdt.ResctrlWriter{Root: root}, sampler, grouping)
 	if err != nil {
 		return nil, resctrlErr(err)
 	}
-	pol, err := genericPolicy(policyName, seed)
+	pol, err := genericPolicy(policyName, seed, clusterK)
 	if err != nil {
 		return nil, err
 	}
@@ -250,10 +260,45 @@ func resctrlErr(err error) error {
 	return err
 }
 
+// simPolicy resolves a policy for the simulated backend: clustered
+// requests (-cluster-k, or the satori-clustered/lfoc names) go through
+// the backend-generic path so the flag is honored; everything else —
+// including the sim-only oracle family — resolves from the shared name
+// registry.
+func simPolicy(name string, seed uint64, clusterK int) (func(satori.Platform) (satori.Policy, error), error) {
+	if effectiveClusterK(name, clusterK) > 0 {
+		return genericPolicy(name, seed, clusterK)
+	}
+	return satori.NewPolicyByName(name, seed)
+}
+
+// effectiveClusterK resolves the cluster budget a (policy, -cluster-k)
+// pair implies: 0 means no clustering; the clustered policies default to
+// 8 groups when the flag is unset.
+func effectiveClusterK(name string, clusterK int) int {
+	if clusterK > 0 {
+		return clusterK
+	}
+	if name == "satori-clustered" || name == "lfoc" {
+		return 8
+	}
+	return 0
+}
+
 // genericPolicy resolves the policy names that work against any Platform
 // backend. The oracle family needs noise-free simulator access, so it is
 // sim-backend-only by construction.
-func genericPolicy(name string, seed uint64) (func(satori.Platform) (satori.Policy, error), error) {
+func genericPolicy(name string, seed uint64, clusterK int) (func(satori.Platform) (satori.Policy, error), error) {
+	if k := effectiveClusterK(name, clusterK); k > 0 {
+		switch name {
+		case "satori", "satori-clustered":
+			return satori.NewClusteredSatoriPolicy(k, satori.EngineOptions{Seed: seed}), nil
+		case "lfoc":
+			return satori.NewLFOCPolicy(k), nil
+		default:
+			return nil, fmt.Errorf("-cluster-k only applies to the satori, satori-clustered, and lfoc policies (got -policy %s)", name)
+		}
+	}
 	switch name {
 	case "satori":
 		return satori.NewSatoriPolicy(satori.EngineOptions{Seed: seed}), nil
@@ -274,7 +319,7 @@ func genericPolicy(name string, seed uint64) (func(satori.Platform) (satori.Poli
 	case "parties":
 		return satori.NewPARTIESPolicy(), nil
 	}
-	return nil, fmt.Errorf("policy %q is not available on the resctrl backend (oracles need the simulator); valid: copart, dcat, parties, random, satori, satori-fairness, satori-static, satori-throughput, static", name)
+	return nil, fmt.Errorf("policy %q is not available on the resctrl backend (oracles need the simulator); valid: copart, dcat, lfoc, parties, random, satori, satori-clustered, satori-fairness, satori-static, satori-throughput, static", name)
 }
 
 // synthesizeTrace records a deterministic IPS trace by running the
@@ -299,7 +344,12 @@ func synthesizeTrace(machine satori.MachineSpec, jobs []*satori.Workload, seed u
 // reportResctrl prints where the control groups landed and round-trips
 // one group through ReadGroup so a live deployment can be spot-checked.
 func reportResctrl(p *rdt.ResctrlPlatform, njobs int, root string) {
-	fmt.Printf("resctrl: %d control groups under %s\n", njobs, root)
+	groups := njobs
+	if g := p.Grouping(); g != nil {
+		groups = g.Clusters
+		fmt.Printf("resctrl: %d jobs clustered onto %d control groups (%s)\n", njobs, groups, g)
+	}
+	fmt.Printf("resctrl: %d control groups under %s\n", groups, root)
 	w := p.Writer()
 	ja, err := w.ReadGroup(0)
 	if err != nil {

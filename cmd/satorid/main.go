@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"satori/internal/control"
+	"satori/internal/core"
 	"satori/internal/harness"
 	"satori/internal/policy"
 	"satori/internal/rdt"
@@ -48,6 +49,7 @@ func main() {
 	suite := flag.String("suite", "", "start from a paper mix of this suite instead (parsec|cloudsuite|ecp)")
 	mixIdx := flag.Int("mix", 0, "mix index within -suite")
 	policyName := flag.String("policy", "satori", "partitioning policy")
+	clusterK := flag.Int("cluster-k", 0, "cluster jobs onto at most K control groups (satori-clustered/lfoc; with -policy satori this switches to satori-clustered)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	tick := flag.Duration("tick", 100*time.Millisecond, "wall-clock interval between loop ticks (0 = free-run)")
 	maxTicks := flag.Int("max-ticks", 0, "stop after this many ticks (0 = run until signaled)")
@@ -58,7 +60,7 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 
-	srv, err := buildServer(*addr, *workloadList, *suite, *mixIdx, *policyName,
+	srv, err := buildServer(*addr, *workloadList, *suite, *mixIdx, *policyName, *clusterK,
 		*seed, *tick, *maxTicks, *faultSpec, *sampled, *sloGoalSwitch, *sloUnhealthy)
 	if err != nil {
 		log.Fatal(err)
@@ -111,7 +113,7 @@ func main() {
 // buildServer assembles the simulated-backend daemon stack: profiles →
 // simulator → platform (optionally fault-wrapped) → control loop →
 // server.
-func buildServer(addr, workloadList, suite string, mixIdx int, policyName string,
+func buildServer(addr, workloadList, suite string, mixIdx int, policyName string, clusterK int,
 	seed uint64, tick time.Duration, maxTicks int, faultSpec string, sampled bool,
 	sloGoalSwitch bool, sloUnhealthy int) (*server.Server, error) {
 	var profiles []*sim.Profile
@@ -138,7 +140,7 @@ func buildServer(addr, workloadList, suite string, mixIdx int, policyName string
 			strings.Join(workloads.Names(), ", "))
 	}
 
-	factory, err := harness.PolicyByName(policyName)
+	factory, err := daemonPolicy(policyName, clusterK)
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +191,24 @@ func buildServer(addr, workloadList, suite string, mixIdx int, policyName string
 		SLOUnhealthyAfter: sloUnhealthy,
 		Logf:              log.Printf,
 	})
+}
+
+// daemonPolicy resolves the policy factory, honoring -cluster-k: a
+// positive K turns satori/satori-clustered into clustered SATORI at that
+// budget and sizes lfoc likewise; every other name resolves from the
+// shared registry (where satori-clustered and lfoc default to K=8).
+func daemonPolicy(policyName string, clusterK int) (harness.PolicyFactory, error) {
+	if clusterK > 0 {
+		switch policyName {
+		case "satori", "satori-clustered":
+			return harness.ClusteredSatoriFactory(clusterK, core.Options{}), nil
+		case "lfoc":
+			return harness.LFOCFactory(clusterK), nil
+		default:
+			return nil, fmt.Errorf("-cluster-k only applies to the satori, satori-clustered, and lfoc policies (got -policy %s)", policyName)
+		}
+	}
+	return harness.PolicyByName(policyName)
 }
 
 // policyFor builds the named policy against the platform's live

@@ -1,10 +1,16 @@
 package satori_test
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"satori"
 	"satori/internal/rdt"
+	"satori/internal/resource"
 )
 
 // TestResctrlSessionEndToEnd drives a full SATORI session over the
@@ -108,5 +114,115 @@ func TestResctrlSessionEndToEnd(t *testing.T) {
 	}
 	if _, err := sess.Step(); err != nil {
 		t.Errorf("session unusable after refused churn: %v", err)
+	}
+}
+
+// TestResctrlClusteredEndToEnd breaks the one-job-one-CLOS wall
+// hermetically: six jobs on a resctrl tree advertising only four classes
+// of service (three usable groups — the root pins CLOS0). Per-job
+// operation must fail preflight with the typed *rdt.CLOSLimitError;
+// clustered SATORI at K=3 must run the full loop using at most three
+// control-group directories, tick for tick.
+func TestResctrlClusteredEndToEnd(t *testing.T) {
+	names := []string{"blackscholes", "canneal", "streamcluster", "swaptions", "dedup", "ferret"}
+	isolated := []float64{2.5e9, 1.8e9, 2.1e9, 2.4e9, 1.9e9, 2.0e9}
+	rows := [][]float64{
+		{1.2e9, 0.9e9, 1.0e9, 1.3e9, 0.8e9, 1.1e9},
+		{1.3e9, 0.8e9, 1.1e9, 1.2e9, 0.9e9, 1.0e9},
+		{1.1e9, 1.0e9, 0.9e9, 1.4e9, 0.7e9, 1.2e9},
+		{1.4e9, 0.7e9, 1.2e9, 1.1e9, 1.0e9, 0.9e9},
+		{1.0e9, 1.1e9, 0.8e9, 1.2e9, 0.9e9, 1.1e9},
+	}
+	newSampler := func() rdt.Sampler {
+		s, err := rdt.NewTraceSampler(isolated, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "info", "L3"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "info", "L3", "num_closids"), []byte("4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	machine := satori.DefaultMachine()
+	writer := rdt.ResctrlWriter{Root: root}
+
+	// Per-job operation: 6 jobs > 3 usable CLOS — loud typed preflight.
+	_, err := rdt.NewResctrlPlatform(machine, names, writer, newSampler())
+	var lim *rdt.CLOSLimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("ungrouped construction = %v, want *rdt.CLOSLimitError", err)
+	}
+	if lim.Need != 6 || lim.Have != 3 {
+		t.Fatalf("CLOSLimitError = %+v, want Need=6 Have=3", lim)
+	}
+
+	// Clustered: bootstrap the platform on the same grouping the
+	// classifier starts from, then run clustered SATORI at K=3.
+	const k = 3
+	platform, err := rdt.NewResctrlPlatformGrouped(machine, names, writer, newSampler(),
+		resource.RoundRobinGrouping(len(names), k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := satori.NewSessionOn(platform, satori.SessionConfig{
+		Policy: satori.NewClusteredSatoriPolicy(k, satori.EngineOptions{Seed: 11}),
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countGroups := func() int {
+		t.Helper()
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range entries {
+			if !e.IsDir() || !strings.HasPrefix(e.Name(), "satori-job") {
+				continue
+			}
+			if _, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "satori-job")); err == nil {
+				n++
+			}
+		}
+		return n
+	}
+	for tick := 1; tick <= 120; tick++ {
+		st, err := sess.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if st.RejectedApply != nil {
+			t.Fatalf("tick %d: rejected apply: %v", tick, st.RejectedApply)
+		}
+		if n := countGroups(); n > k {
+			t.Fatalf("tick %d: %d control groups on disk, CLOS budget is %d", tick, n, k)
+		}
+	}
+	g := platform.Grouping()
+	if g == nil || g.Jobs() != len(names) || g.Clusters > k {
+		t.Fatalf("final grouping = %v, want %d jobs over ≤ %d clusters", g, len(names), k)
+	}
+	// The on-disk groups must equal the grouped compile of the installed
+	// configuration — the resctrl tree is the cluster partition.
+	plan, err := rdt.CompileGrouped(platform.Space(), platform.Current(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range plan.Jobs {
+		got, err := writer.ReadGroup(c)
+		if err != nil {
+			t.Fatalf("cluster %d: %v", c, err)
+		}
+		want := plan.Jobs[c]
+		if got.CATMask != want.CATMask || got.MBAPercent != want.MBAPercent {
+			t.Fatalf("cluster %d: tree has mask %#x MB %d%%, config compiles to mask %#x MB %d%%",
+				c, got.CATMask, got.MBAPercent, want.CATMask, want.MBAPercent)
+		}
 	}
 }

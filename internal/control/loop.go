@@ -161,6 +161,9 @@ type Status struct {
 	// SLO attainment instead of the configured fairness metric
 	// (SLOOptions.GoalSwitch).
 	GoalSwitched bool
+	// Regrouped reports the policy committed a cluster-membership
+	// migration during this tick's decision (clustered policies only).
+	Regrouped bool
 }
 
 // StaleDecisionError is Step's typed failure when the policy emits a
@@ -243,7 +246,22 @@ type Loop struct {
 	// latency-critical jobs (rdt.SLOProvider), and is rebuilt on churn.
 	sloOpt SLOOptions
 	slo    *sloTracker
+
+	// Regroup tracking: regroup is non-nil only when the policy exposes
+	// cluster-membership migrations (the regrouper capability of
+	// internal/cluster policies); lastRegroups is the policy's counter at
+	// the previous tick, so deltas attribute migrations to ticks.
+	regroup      regrouper
+	lastRegroups int
+	regroups     int
 }
+
+// regrouper is the optional policy capability for cluster-membership
+// migrations (implemented by cluster.Partitioner and cluster.LFOC): a
+// monotone count of committed migrations. The loop treats a migration
+// tick like churn — a re-measurement boundary that disarms the sampled
+// phase-stability window — and surfaces the count in its Summary.
+type regrouper interface{ Regroups() int }
 
 // New builds a loop: the policy is constructed on the platform's live
 // space, the initial isolated baselines are measured (Algorithm 1
@@ -278,6 +296,7 @@ func New(opt Options) (*Loop, error) {
 		sloOpt:     opt.SLO,
 	}
 	l.slo = newSLOTracker(opt.Platform, l.sloOpt)
+	l.captureRegrouper()
 	iso, err := l.measureIsolatedRetry()
 	if err != nil {
 		return nil, err
@@ -440,6 +459,19 @@ func (l *Loop) Step() (Status, error) {
 	wasReset := l.pendReset
 	l.pendReset = false
 	next := l.pol.Decide(obs, l.current)
+	regrouped := false
+	if l.regroup != nil {
+		if n := l.regroup.Regroups(); n > l.lastRegroups {
+			// The policy committed a cluster-membership migration inside
+			// this Decide: the control-group layout just changed under the
+			// running jobs, so treat the tick as a churn-like boundary —
+			// disarm extrapolation until the ε-band re-fills.
+			l.regroups += n - l.lastRegroups
+			l.lastRegroups = n
+			l.resetStability()
+			regrouped = true
+		}
+	}
 	st := Status{
 		Tick: l.tick, Time: float64(l.tick) * TickSeconds,
 		IPS: ips, Isolated: l.isolated, Speedups: speedups,
@@ -447,6 +479,7 @@ func (l *Loop) Step() (Status, error) {
 		BaselineReset: wasReset,
 		ResetErr:      resetErr,
 		SampledTick:   sampled,
+		Regrouped:     regrouped,
 	}
 	if l.slo != nil {
 		l.slo.fill(&st)
@@ -795,7 +828,21 @@ func (l *Loop) rebuildAfterChurn() error {
 	// Membership changed: rebuild the SLO tracker against the new job
 	// set (the detector restarts attaining, like a freshly built loop).
 	l.slo = newSLOTracker(l.platform, l.sloOpt)
+	// The rebuilt policy starts its migration counter fresh.
+	l.captureRegrouper()
 	return nil
+}
+
+// captureRegrouper re-detects the policy's optional migration counter —
+// called whenever l.pol is (re)built, so Step's delta tracking restarts
+// from the new policy's baseline.
+func (l *Loop) captureRegrouper() {
+	l.regroup = nil
+	l.lastRegroups = 0
+	if r, ok := l.pol.(regrouper); ok {
+		l.regroup = r
+		l.lastRegroups = r.Regroups()
+	}
 }
 
 // churner returns the platform's churn capability, or the typed error.
@@ -914,6 +961,9 @@ type Summary struct {
 	// GoalSwitches counts fairness-channel flips (switching to SLO
 	// attainment on onset and back on clear each count once).
 	GoalSwitches int
+	// Regroups counts cluster-membership migrations the policy committed
+	// (0 for non-clustered policies).
+	Regroups int
 }
 
 // Summary returns the running aggregate.
@@ -933,6 +983,7 @@ func (l *Loop) Summary() Summary {
 		ResetErrs:       l.resetErrs,
 		Retries:         l.retries,
 		BreakerTrips:    l.breakerTrips,
+		Regroups:        l.regroups,
 	}
 	if l.slo != nil {
 		s.SLOViolatedTicks = l.slo.violTicks
@@ -973,6 +1024,9 @@ func (s Summary) String() string {
 	}
 	if s.GoalSwitches > 0 {
 		out += fmt.Sprintf(" goal-switches=%d", s.GoalSwitches)
+	}
+	if s.Regroups > 0 {
+		out += fmt.Sprintf(" regroups=%d", s.Regroups)
 	}
 	return out
 }

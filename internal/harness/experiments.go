@@ -102,6 +102,7 @@ func Experiments() []Experiment {
 		{"mix-change", "Workload-mix change absorbed without re-initialization", RunMixChange},
 		{"slo", "Violation-driven goal switching on a mixed batch+LC co-location", RunSLO},
 		{"scalability", "SATORI-PARTIES gap grows with co-location degree", RunScalability},
+		{"cluster", "Jobs ≫ classes: clustered partition search vs per-job and LFOC", RunCluster},
 		{"clite", "CLITE (BO, static objective) vs PARTIES and SATORI", RunCLITE},
 		{"ablation-resources", "SATORI restricted to dCAT's and CoPart's resources", RunAblationResources},
 		{"ablation-init", "Good vs random initial configuration set", RunAblationInit},

@@ -11,8 +11,9 @@ var smokeOpt = ExpOptions{Ticks: 80, Seed: 5, MixLimit: 2}
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
 	// Every figure in the paper's evaluation plus the textual results
-	// and our ablations: 16 figures + 14 extras (incl. the SLO study).
-	if len(exps) != 30 {
+	// and our ablations: 16 figures + 15 extras (incl. the SLO study and
+	// the jobs ≫ classes clustering ablation).
+	if len(exps) != 31 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"satori/internal/cluster"
 	"satori/internal/core"
 	"satori/internal/policies/copart"
 	"satori/internal/policies/dcat"
@@ -92,6 +93,38 @@ func CLITEFactory() PolicyFactory {
 		StaticWTSet: true,
 		Name:        "clite",
 	})
+}
+
+// ClusteredSatoriFactory builds SATORI behind the cluster indirection:
+// jobs are classified online into at most k clusters
+// (cluster.Classifier) and the BO engine searches the reduced cluster
+// space instead of the per-job space. With k ≥ jobs the partitioner is
+// draw-identical to plain SATORI; with jobs ≫ k it fits hardware CLOS
+// budgets and shrinks the search dimension. The platform's Grouper
+// capability is wired so the simulator (or a resctrl tree) holds one
+// control group per cluster.
+func ClusteredSatoriFactory(k int, opt core.Options) PolicyFactory {
+	return func(p *rdt.SimPlatform, seed uint64) (policy.Policy, error) {
+		o := opt
+		if o.Seed == 0 {
+			o.Seed = seed
+		}
+		return cluster.New(p.Space(), cluster.Options{
+			K:       k,
+			Inner:   func(space *resource.Space) (policy.Policy, error) { return core.New(space, o) },
+			Grouper: p,
+		})
+	}
+}
+
+// LFOCFactory builds the standalone LFOC baseline: the same online
+// classifier, but allocation computed directly from the classes with no
+// search (cluster.LFOC) — the comparison point that isolates what
+// cluster-level BO search adds over clustering alone.
+func LFOCFactory(k int) PolicyFactory {
+	return func(p *rdt.SimPlatform, _ uint64) (policy.Policy, error) {
+		return cluster.NewLFOC(p.Space(), cluster.LFOCOptions{K: k, Grouper: p})
+	}
 }
 
 // NamedFactory pairs a display name with a factory, in the order results

@@ -64,6 +64,24 @@ func TestGoldenSLOSmoke(t *testing.T) {
 	goldenCompare(t, rep, 0, "slo_200.csv")
 }
 
+// Jobs ≫ classes ablation at 120 ticks: -run cluster -ticks 120 -seed 42.
+// This golden pins the whole cluster indirection end to end — the
+// round-robin bootstrap grouping, the classifier's fingerprints and
+// hysteretic migrations, the reduced-space search, and the expansion back
+// to per-job partitions — plus (via the per-job satori row) that plain
+// SATORI's draws are untouched by the clustering machinery existing.
+func TestGoldenCluster(t *testing.T) {
+	e, ok := FindExperiment("cluster")
+	if !ok {
+		t.Fatal("cluster not registered")
+	}
+	rep, err := e.Run(ExpOptions{Ticks: 120, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, rep, 0, "cluster_120.csv")
+}
+
 // Mix change at 200 ticks: -run mix-change -ticks 200 -seed 42. Ticks=200
 // puts the mid-run churn exactly on a 100-tick equalization boundary, so
 // this golden also pins the "churn preempts the periodic refresh"

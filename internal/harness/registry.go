@@ -23,6 +23,8 @@ var policyRegistry = map[string]func() PolicyFactory{
 	"satori-throughput": func() PolicyFactory { return SatoriStaticFactory(1) },
 	"satori-fairness":   func() PolicyFactory { return SatoriStaticFactory(0) },
 	"clite":             CLITEFactory,
+	"satori-clustered":  func() PolicyFactory { return ClusteredSatoriFactory(8, core.Options{}) },
+	"lfoc":              func() PolicyFactory { return LFOCFactory(8) },
 	"random":            RandomFactory,
 	"static":            StaticFactory,
 	"dcat":              DCATFactory,

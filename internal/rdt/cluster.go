@@ -1,0 +1,102 @@
+package rdt
+
+import (
+	"fmt"
+
+	"satori/internal/resource"
+)
+
+// CLOSLimitError is the typed, actionable rejection for a plan that needs
+// more hardware classes of service than the platform offers. Real resctrl
+// exposes ~16 CLOS (one consumed by the root/default group), so a per-job
+// plan cannot serve more than ~15 jobs; the remedy is clustering — map
+// jobs many-to-one onto ≤ MaxCLOS control groups (resource.Grouping, the
+// satori-clustered and lfoc policies).
+type CLOSLimitError struct {
+	// Need is the number of control groups the plan requires.
+	Need int
+	// Have is the number of usable classes of service (num_closids minus
+	// the root group).
+	Have int
+}
+
+// Error implements error.
+func (e *CLOSLimitError) Error() string {
+	return fmt.Sprintf("rdt: plan needs %d control groups but the platform offers %d classes of service; enable job clustering (-cluster-k ≤ %d, or the satori-clustered/lfoc policies) to map jobs many-to-one onto CLOS groups",
+		e.Need, e.Have, e.Have)
+}
+
+// Grouper is the optional cluster-indirection capability of a Platform:
+// SetGrouping installs (or, with nil, removes) a job→cluster map, after
+// which the backend materializes one control group per CLUSTER instead of
+// one per job — per-job configurations are still what Apply accepts, but
+// the compiled Plan has Grouping.Clusters entries. The grouping must span
+// exactly the live job set; after membership churn re-dimensions the
+// space, backends drop the stale grouping and the (rebuilt) policy must
+// install a fresh one.
+type Grouper interface {
+	SetGrouping(g *resource.Grouping) error
+	// Grouping returns the installed job→cluster map (nil = per-job).
+	Grouping() *resource.Grouping
+}
+
+// CLOSLimiter is the optional hardware-class-budget capability of a
+// Platform: MaxCLOS returns the number of usable control groups (0 =
+// unlimited, e.g. the simulator by default or a scratch resctrl tree
+// without an info directory). Plans needing more groups are rejected with
+// a *CLOSLimitError.
+type CLOSLimiter interface {
+	MaxCLOS() int
+}
+
+// CompileGrouped compiles a per-job configuration into a per-CLUSTER plan
+// under a grouping: each cluster's physical totals (the sum of its
+// members' units per resource) become one JobAllocation whose Job field
+// is the cluster index, with cores and ways handed out contiguously in
+// cluster order exactly as Compile does per job. Member jobs share their
+// cluster's control group — the LFOC deployment model that fits M jobs
+// into K ≤ MaxCLOS classes of service.
+func CompileGrouped(space *resource.Space, c resource.Config, g *resource.Grouping) (Plan, error) {
+	if g == nil {
+		return Compile(space, c)
+	}
+	if space.Jobs != g.Jobs() {
+		return Plan{}, fmt.Errorf("rdt: grouping spans %d jobs, space has %d", g.Jobs(), space.Jobs)
+	}
+	if err := space.Validate(c); err != nil {
+		return Plan{}, fmt.Errorf("rdt: cannot compile invalid config: %w", err)
+	}
+	// Cluster physical totals form a valid configuration of the K-job
+	// space over the same unit counts (every cluster holds ≥ 1 unit of
+	// each resource because each member does).
+	clusterSpace, err := resource.NewSpace(g.Clusters, space.Resources...)
+	if err != nil {
+		return Plan{}, err
+	}
+	cc := clusterSpace.NewConfig()
+	for r := range c.Alloc {
+		row := cc.Alloc[r]
+		for j, u := range c.Alloc[r] {
+			row[g.JobToCluster[j]] += u
+		}
+	}
+	return Compile(clusterSpace, cc)
+}
+
+// planGroups returns the number of control groups a platform needs for
+// its live job set under an optional grouping.
+func planGroups(jobs int, g *resource.Grouping) int {
+	if g != nil {
+		return g.Clusters
+	}
+	return jobs
+}
+
+// checkCLOS rejects a group demand that exceeds a CLOS budget (0 = no
+// budget).
+func checkCLOS(need, have int) error {
+	if have > 0 && need > have {
+		return &CLOSLimitError{Need: need, Have: have}
+	}
+	return nil
+}

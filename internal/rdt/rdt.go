@@ -259,6 +259,13 @@ type BatchSampler interface {
 type SimPlatform struct {
 	sim  *sim.Simulator
 	plan Plan
+
+	// grouping, when non-nil, maps jobs many-to-one onto clusters and the
+	// compiled plan holds one entry per CLUSTER (rdt.Grouper capability).
+	grouping *resource.Grouping
+	// maxCLOS is the simulated hardware class-of-service budget
+	// (0 = unlimited, the default — existing behavior is untouched).
+	maxCLOS int
 }
 
 // NewSimPlatform wraps s. The initial equal-split plan is compiled
@@ -290,7 +297,7 @@ func (p *SimPlatform) Apply(c resource.Config) error {
 		// MSR writes would be on hardware).
 		return nil
 	}
-	plan, err := Compile(p.sim.Space(), c)
+	plan, err := p.compile(c)
 	if err != nil {
 		return err
 	}
@@ -307,8 +314,54 @@ func (p *SimPlatform) Apply(c resource.Config) error {
 // Current implements Platform.
 func (p *SimPlatform) Current() resource.Config { return p.sim.Current() }
 
-// Plan returns the most recently compiled hardware plan.
+// Plan returns the most recently compiled hardware plan (one entry per
+// job, or per cluster when a grouping is installed).
 func (p *SimPlatform) Plan() Plan { return p.plan }
+
+// compile builds the hardware plan for a configuration, honoring the
+// installed grouping and the simulated CLOS budget.
+func (p *SimPlatform) compile(c resource.Config) (Plan, error) {
+	if err := checkCLOS(planGroups(p.sim.Space().Jobs, p.grouping), p.maxCLOS); err != nil {
+		return Plan{}, err
+	}
+	return CompileGrouped(p.sim.Space(), c, p.grouping)
+}
+
+// SetGrouping implements Grouper: install (or with nil remove) the
+// job→cluster map and recompile the plan as one control group per
+// cluster. The grouping must span the live job set.
+func (p *SimPlatform) SetGrouping(g *resource.Grouping) error {
+	if g != nil && g.Jobs() != p.sim.Space().Jobs {
+		return fmt.Errorf("rdt: grouping spans %d jobs, platform has %d", g.Jobs(), p.sim.Space().Jobs)
+	}
+	prev := p.grouping
+	p.grouping = g
+	if err := p.Resync(); err != nil {
+		p.grouping = prev
+		return err
+	}
+	return nil
+}
+
+// Grouping implements Grouper.
+func (p *SimPlatform) Grouping() *resource.Grouping { return p.grouping }
+
+// SetMaxCLOS sets the simulated class-of-service budget (the number of
+// usable control groups; 0 = unlimited). A plan needing more groups is
+// rejected with a *CLOSLimitError — letting tests and experiments model
+// the ~16-CLOS wall of real resctrl hardware.
+func (p *SimPlatform) SetMaxCLOS(n int) error {
+	prev := p.maxCLOS
+	p.maxCLOS = n
+	if err := p.Resync(); err != nil {
+		p.maxCLOS = prev
+		return err
+	}
+	return nil
+}
+
+// MaxCLOS implements CLOSLimiter.
+func (p *SimPlatform) MaxCLOS() int { return p.maxCLOS }
 
 // Sample implements Platform.
 func (p *SimPlatform) Sample() ([]float64, error) {
@@ -361,12 +414,25 @@ func (p *SimPlatform) Simulator() *sim.Simulator { return p.sim }
 // the cached plan would describe a partition of a job set that no longer
 // exists. The Churner methods below resync automatically.
 func (p *SimPlatform) Resync() error {
-	plan, err := Compile(p.sim.Space(), p.sim.Current())
+	plan, err := p.compile(p.sim.Current())
 	if err != nil {
 		return err
 	}
 	p.plan = plan
 	return nil
+}
+
+// rechurnGrouping replaces a stale grouping after membership churn: the
+// installed map spans the pre-churn job set, so it is swapped for the
+// deterministic round-robin bootstrap at the same cluster count (clamped
+// to the new job count) — staying within any CLOS budget until the
+// rebuilt policy installs its own fresh grouping (the Grouper contract).
+// Without a grouping nothing changes.
+func (p *SimPlatform) rechurnGrouping() {
+	if p.grouping == nil {
+		return
+	}
+	p.grouping = resource.RoundRobinGrouping(p.sim.NumJobs(), p.grouping.Clusters)
 }
 
 // AddJob implements Churner: it admits a job into the simulator (which
@@ -375,6 +441,7 @@ func (p *SimPlatform) AddJob(profile *sim.Profile) error {
 	if err := p.sim.AddJob(profile); err != nil {
 		return err
 	}
+	p.rechurnGrouping()
 	return p.Resync()
 }
 
@@ -384,6 +451,7 @@ func (p *SimPlatform) RemoveJob(j int) error {
 	if err := p.sim.RemoveJob(j); err != nil {
 		return err
 	}
+	p.rechurnGrouping()
 	return p.Resync()
 }
 

@@ -42,14 +42,51 @@ func (w ResctrlWriter) prefix() string {
 	return w.GroupPrefix
 }
 
-// Apply writes one control group per job. Existing group directories are
-// reused (schemata rewritten in place), matching how resctrl groups are
-// managed on a live system.
+// MaxCLOS detects the platform's class-of-service budget by reading
+// info/L3/num_closids under the resctrl root, the standard resctrl
+// capability file. The returned count excludes the root group (which
+// permanently occupies CLOS0 on real hardware), so it is the number of
+// control groups Apply may create. A tree without the info file — a
+// scratch directory, or an MB-only mount — reports 0, meaning unlimited.
+func (w ResctrlWriter) MaxCLOS() (int, error) {
+	blob, err := os.ReadFile(filepath.Join(w.Root, "info", "L3", "num_closids"))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("rdt: reading num_closids: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(blob)))
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("rdt: malformed num_closids %q", strings.TrimSpace(string(blob)))
+	}
+	return n - 1, nil
+}
+
+// Apply writes one control group per plan entry (per job, or per cluster
+// when the plan was compiled under a grouping). Existing group
+// directories are reused (schemata rewritten in place), matching how
+// resctrl groups are managed on a live system; group directories beyond
+// the plan — left over after membership churn shrank the job set, or
+// after clustering reduced the group count — are removed, since a stale
+// group would pin a CLOS (and its cache ways) forever on real hardware.
+//
+// Apply fails with a typed *CLOSLimitError when the plan needs more
+// groups than the hardware offers (info/L3/num_closids, minus the root
+// group) — the loud preflight for running jobs ≫ CLOS without
+// clustering.
 func (w ResctrlWriter) Apply(plan Plan) error {
 	if w.Root == "" {
 		return fmt.Errorf("rdt: ResctrlWriter needs a Root directory")
 	}
 	if err := plan.Validate(); err != nil {
+		return err
+	}
+	limit, err := w.MaxCLOS()
+	if err != nil {
+		return err
+	}
+	if err := checkCLOS(len(plan.Jobs), limit); err != nil {
 		return err
 	}
 	for _, ja := range plan.Jobs {
@@ -64,6 +101,37 @@ func (w ResctrlWriter) Apply(plan Plan) error {
 		cpus := FormatCPUList(ja.CPUSet)
 		if err := os.WriteFile(filepath.Join(dir, "cpus_list"), []byte(cpus+"\n"), 0o644); err != nil {
 			return fmt.Errorf("rdt: writing cpus_list: %w", err)
+		}
+	}
+	return w.prune(len(plan.Jobs))
+}
+
+// prune removes control-group directories whose index is beyond the live
+// plan — the groups a removed job (or a coarser clustering) left behind.
+// Only directories named exactly <prefix><N> are candidates; everything
+// else under the root (info, mon_groups, foreign groups) is untouched.
+// On a real resctrl mount a group is deleted with a bare rmdir (its
+// virtual files vanish with it), so plain Remove is tried first and
+// RemoveAll only as the scratch-directory fallback.
+func (w ResctrlWriter) prune(live int) error {
+	entries, err := os.ReadDir(w.Root)
+	if err != nil {
+		return fmt.Errorf("rdt: scanning control groups: %w", err)
+	}
+	prefix := w.prefix()
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		idx, err := strconv.Atoi(e.Name()[len(prefix):])
+		if err != nil || idx < live {
+			continue
+		}
+		dir := filepath.Join(w.Root, e.Name())
+		if err := os.Remove(dir); err != nil {
+			if err := os.RemoveAll(dir); err != nil {
+				return fmt.Errorf("rdt: removing stale control group %s: %w", e.Name(), err)
+			}
 		}
 	}
 	return nil

@@ -28,12 +28,34 @@ type ResctrlPlatform struct {
 	sampler Sampler
 	current resource.Config
 	plan    Plan
+
+	// grouping, when non-nil, maps jobs many-to-one onto clusters and
+	// the tree holds one control group per CLUSTER (rdt.Grouper).
+	grouping *resource.Grouping
+	// maxCLOS is the class-of-service budget detected from
+	// info/L3/num_closids at construction (0 = unlimited).
+	maxCLOS int
 }
 
 // NewResctrlPlatform builds the platform for len(jobNames) jobs on the
 // given machine shape, writes the initial equal-split partition to the
 // resctrl tree, and wires the sampler. The writer's Root must be set.
+// Construction fails with a typed *CLOSLimitError when the job count
+// exceeds the tree's class-of-service budget (info/L3/num_closids) —
+// use NewResctrlPlatformGrouped to fit more jobs through clustering.
 func NewResctrlPlatform(spec sim.MachineSpec, jobNames []string, w ResctrlWriter, s Sampler) (*ResctrlPlatform, error) {
+	return NewResctrlPlatformGrouped(spec, jobNames, w, s, nil)
+}
+
+// NewResctrlPlatformGrouped is NewResctrlPlatform with an initial
+// job→cluster grouping installed before the first write, so a job set
+// larger than the CLOS budget passes preflight as long as the grouping's
+// cluster count fits. Policies that migrate memberships online
+// (satori-clustered, lfoc) update the grouping through the Grouper
+// capability; the deterministic bootstrap to pass here is
+// resource.RoundRobinGrouping(len(jobNames), k). A nil grouping is
+// plain per-job operation.
+func NewResctrlPlatformGrouped(spec sim.MachineSpec, jobNames []string, w ResctrlWriter, s Sampler, g *resource.Grouping) (*ResctrlPlatform, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -46,16 +68,25 @@ func NewResctrlPlatform(spec sim.MachineSpec, jobNames []string, w ResctrlWriter
 	if s == nil {
 		return nil, fmt.Errorf("rdt: ResctrlPlatform needs a Sampler")
 	}
+	if g != nil && g.Jobs() != len(jobNames) {
+		return nil, fmt.Errorf("rdt: grouping spans %d jobs, platform has %d", g.Jobs(), len(jobNames))
+	}
 	space, err := spec.Space(len(jobNames))
 	if err != nil {
 		return nil, err
 	}
+	limit, err := w.MaxCLOS()
+	if err != nil {
+		return nil, err
+	}
 	p := &ResctrlPlatform{
-		space:   space,
-		names:   append([]string(nil), jobNames...),
-		writer:  w,
-		sampler: s,
-		current: space.EqualSplit(),
+		space:    space,
+		names:    append([]string(nil), jobNames...),
+		writer:   w,
+		sampler:  s,
+		current:  space.EqualSplit(),
+		grouping: g,
+		maxCLOS:  limit,
 	}
 	if err := p.Resync(); err != nil {
 		return nil, err
@@ -78,7 +109,7 @@ func (p *ResctrlPlatform) Apply(c resource.Config) error {
 	if p.current.Equal(c) {
 		return nil
 	}
-	plan, err := Compile(p.space, c)
+	plan, err := CompileGrouped(p.space, c, p.grouping)
 	if err != nil {
 		return err
 	}
@@ -131,10 +162,33 @@ func (p *ResctrlPlatform) MeasureIsolated() ([]float64, error) {
 // JobNames implements Platform.
 func (p *ResctrlPlatform) JobNames() []string { return append([]string(nil), p.names...) }
 
+// SetGrouping implements Grouper: install (or with nil remove) the
+// job→cluster map and rewrite the tree as one control group per cluster
+// (stale higher-numbered groups are pruned by the writer).
+func (p *ResctrlPlatform) SetGrouping(g *resource.Grouping) error {
+	if g != nil && g.Jobs() != p.space.Jobs {
+		return fmt.Errorf("rdt: grouping spans %d jobs, platform has %d", g.Jobs(), p.space.Jobs)
+	}
+	prev := p.grouping
+	p.grouping = g
+	if err := p.Resync(); err != nil {
+		p.grouping = prev
+		return err
+	}
+	return nil
+}
+
+// Grouping implements Grouper.
+func (p *ResctrlPlatform) Grouping() *resource.Grouping { return p.grouping }
+
+// MaxCLOS implements CLOSLimiter: the class-of-service budget detected
+// from info/L3/num_closids at construction (0 = unlimited).
+func (p *ResctrlPlatform) MaxCLOS() int { return p.maxCLOS }
+
 // Resync implements Platform: recompile the plan from the live space and
 // current configuration and rewrite every control group.
 func (p *ResctrlPlatform) Resync() error {
-	plan, err := Compile(p.space, p.current)
+	plan, err := CompileGrouped(p.space, p.current, p.grouping)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"satori/internal/resource"
@@ -87,22 +88,39 @@ func TestPhaseValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid phase rejected: %v", err)
 	}
-	mutations := []func(*Phase){
-		func(p *Phase) { p.Instructions = 0 },
-		func(p *Phase) { p.IPSPeak = 0 },
-		func(p *Phase) { p.SerialFrac = -0.1 },
-		func(p *Phase) { p.SerialFrac = 1.1 },
-		func(p *Phase) { p.MPIMin = -1 },
-		func(p *Phase) { p.MPIMax = p.MPIMin / 2 },
-		func(p *Phase) { p.WaysHalf = 0 },
-		func(p *Phase) { p.MemStallCost = -1 },
-		func(p *Phase) { p.PowerSensitivity = 2 },
+	// Each rejection path must fire AND blame the offending field by
+	// name — a profile author debugging a hand-written JSON file only
+	// sees this string.
+	cases := []struct {
+		name string
+		mut  func(*Phase)
+		want string
+	}{
+		{"zero instructions", func(p *Phase) { p.Instructions = 0 }, "Instructions"},
+		{"negative instructions", func(p *Phase) { p.Instructions = -1e9 }, "Instructions"},
+		{"zero ips peak", func(p *Phase) { p.IPSPeak = 0 }, "IPSPeak"},
+		{"negative serial frac", func(p *Phase) { p.SerialFrac = -0.1 }, "SerialFrac"},
+		{"serial frac above one", func(p *Phase) { p.SerialFrac = 1.1 }, "SerialFrac"},
+		{"negative mpi min", func(p *Phase) { p.MPIMin = -1 }, "MPIMin"},
+		{"mpi max below min", func(p *Phase) { p.MPIMax = p.MPIMin / 2 }, "MPIMin"},
+		{"zero ways half", func(p *Phase) { p.WaysHalf = 0 }, "WaysHalf"},
+		{"negative stall cost", func(p *Phase) { p.MemStallCost = -1 }, "MemStallCost"},
+		{"power sensitivity above one", func(p *Phase) { p.PowerSensitivity = 2 }, "PowerSensitivity"},
+		{"negative power sensitivity", func(p *Phase) { p.PowerSensitivity = -0.5 }, "PowerSensitivity"},
 	}
-	for i, mut := range mutations {
+	for _, tc := range cases {
 		p := good
-		mut(&p)
-		if p.Validate() == nil {
-			t.Errorf("mutation %d accepted", i)
+		tc.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), p.Name) {
+			t.Errorf("%s: error %q does not name the phase %q", tc.name, err, p.Name)
 		}
 	}
 }
@@ -116,6 +134,24 @@ func TestProfileValidate(t *testing.T) {
 	}
 	if (&Profile{Name: "y"}).Validate() == nil {
 		t.Error("phase-less profile accepted")
+	}
+	// A bad phase is rejected and attributed to the profile.
+	bad := testProfile("attrib")
+	bad.Phases[1].WaysHalf = 0
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "attrib") {
+		t.Errorf("bad-phase error %v does not name the profile", err)
+	}
+	// An ill-formed SLO section fails profile validation too: LC specs
+	// ride Profile.Validate so every load path (JSON, API churn, mixes)
+	// rejects them at the same gate.
+	lc := testProfile("lc")
+	lc.SLO = &slo.Spec{TargetP99: -0.01, ServiceInstructions: 1e6, ArrivalRate: 100}
+	if err := lc.Validate(); err == nil || !strings.Contains(err.Error(), "lc") {
+		t.Errorf("invalid SLO spec: err = %v, want profile-attributed rejection", err)
+	}
+	lc.SLO = &slo.Spec{TargetP99: 0.01, ServiceInstructions: 1e6, ArrivalRate: 100}
+	if err := lc.Validate(); err != nil {
+		t.Errorf("valid LC profile rejected: %v", err)
 	}
 }
 

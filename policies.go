@@ -1,6 +1,7 @@
 package satori
 
 import (
+	"satori/internal/cluster"
 	"satori/internal/core"
 	"satori/internal/harness"
 	"satori/internal/policies/copart"
@@ -9,6 +10,7 @@ import (
 	"satori/internal/policies/parties"
 	"satori/internal/policy"
 	"satori/internal/rdt"
+	"satori/internal/resource"
 )
 
 // EngineOptions re-exports the SATORI engine configuration.
@@ -79,6 +81,34 @@ func NewCoPartPolicy() func(Platform) (Policy, error) {
 func NewPARTIESPolicy() func(Platform) (Policy, error) {
 	return func(p Platform) (Policy, error) {
 		return parties.New(p.Space(), parties.Options{}), nil
+	}
+}
+
+// NewClusteredSatoriPolicy builds SATORI behind the cluster indirection:
+// jobs are classified online (LFOC-style) into at most k clusters and
+// the BO engine searches the reduced cluster space, so a co-location
+// larger than the machine's CLOS budget still fits — one control group
+// per cluster. With k ≥ jobs the behavior is bit-identical to plain
+// SATORI. When the platform implements the Grouper capability (both the
+// simulator and the resctrl backend do), the grouping is pushed down so
+// the hardware layout follows every membership migration.
+func NewClusteredSatoriPolicy(k int, opt EngineOptions) func(Platform) (Policy, error) {
+	return func(p Platform) (Policy, error) {
+		g, _ := p.(rdt.Grouper)
+		return cluster.New(p.Space(), cluster.Options{
+			K:       k,
+			Inner:   func(space *resource.Space) (Policy, error) { return core.New(space, opt) },
+			Grouper: g,
+		})
+	}
+}
+
+// NewLFOCPolicy builds the standalone LFOC baseline: the same online
+// classifier, allocation computed directly from the classes (no search).
+func NewLFOCPolicy(k int) func(Platform) (Policy, error) {
+	return func(p Platform) (Policy, error) {
+		g, _ := p.(rdt.Grouper)
+		return cluster.NewLFOC(p.Space(), cluster.LFOCOptions{K: k, Grouper: g})
 	}
 }
 

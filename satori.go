@@ -51,6 +51,11 @@ type (
 	// one to Workload.SLO to make a job latency-critical (see
 	// internal/slo for the M/M/1 latency model behind it).
 	SLOSpec = slo.Spec
+	// Grouping maps jobs many-to-one onto clusters — the indirection the
+	// clustered policies (NewClusteredSatoriPolicy, NewLFOCPolicy) use to
+	// fit co-locations larger than the hardware CLOS budget; resource
+	// partitions are then one control group per cluster.
+	Grouping = resource.Grouping
 )
 
 // Resource kinds.
